@@ -1,0 +1,32 @@
+"""Ablation D — AV circulation vs static escrow.
+
+Static escrow (fixed bootstrap split, no transfers) sends zero messages
+— and pays for it in rejected updates once a retailer's share runs dry.
+The paper's contribution over classic escrow is exactly the circulation,
+and this bench shows the trade: a small correspondence budget buys back
+the lost commits.
+"""
+
+from conftest import once
+
+from repro.experiments import ABLATION_HEADERS, ablate_escrow
+from repro.metrics.report import text_table
+
+
+def bench_ablation_escrow(benchmark, save_result):
+    rows = once(benchmark, ablate_escrow, n_updates=1000, seed=0)
+    save_result(
+        "ablation_escrow",
+        text_table(
+            ABLATION_HEADERS, rows,
+            title="Ablation D — circulation vs static escrow",
+        ),
+    )
+
+    by_label = {row[0]: row for row in rows}
+    circ = by_label["av-circulation"]
+    static = by_label["static-escrow"]
+
+    assert static[1] == 0, "static escrow must send no AV traffic"
+    assert static[4] < 0.8, "static escrow must visibly reject updates"
+    assert circ[4] > static[4] + 0.15, "circulation must buy back commits"

@@ -1,0 +1,37 @@
+"""Ablation E — regular / non-regular product mix.
+
+As the regular (Delay-eligible) fraction shrinks, more updates pay the
+full Immediate Update protocol (2(n-1) correspondences each with n
+sites). At fraction 0 the system degenerates to the all-immediate
+primary-copy baseline — strictly worse than centralized for n = 3,
+which is why the checking function matters.
+"""
+
+from conftest import once
+
+from repro.experiments import ABLATION_HEADERS, ablate_update_mix
+from repro.metrics.report import text_table
+
+
+def bench_ablation_mix(benchmark, save_result):
+    rows = once(
+        benchmark, ablate_update_mix,
+        fractions=(1.0, 0.75, 0.5, 0.0), n_updates=600, seed=0,
+    )
+    save_result(
+        "ablation_mix",
+        text_table(
+            ABLATION_HEADERS, rows,
+            title="Ablation E — regular-product fraction",
+        ),
+    )
+
+    # Cost grows monotonically as the delay-eligible share shrinks.
+    costs = [row[1] for row in rows]
+    assert all(b >= a for a, b in zip(costs, costs[1:])), costs
+
+    # All-immediate pays 2(n-1)=4 correspondences per update (n=3) --
+    # modulo occasional contention retries.
+    all_imm = rows[-1]
+    per_update = all_imm[1] / 600
+    assert 3.5 <= per_update <= 5.0, per_update

@@ -1,0 +1,78 @@
+"""Engine microbenchmarks — raw throughput of the simulation substrate.
+
+Unlike the experiment benches (one deterministic run each), these use
+pytest-benchmark's repeated rounds to give stable wall-clock numbers
+for the three hot paths every experiment exercises: event dispatch,
+process context switching, and the full RPC round trip. Useful as a
+performance-regression canary for kernel changes ("no optimization
+without measuring").
+"""
+
+from repro.net import ConstantLatency, Network
+from repro.sim import Environment
+
+
+def bench_event_dispatch(benchmark):
+    """Schedule + fire 10k bare timeouts."""
+
+    def run():
+        env = Environment()
+        for i in range(10_000):
+            env.timeout(i % 97)
+        env.run()
+        return env.events_processed
+
+    processed = benchmark(run)
+    assert processed == 10_000
+
+
+def bench_process_switching(benchmark):
+    """1k processes x 10 yields each."""
+
+    def run():
+        env = Environment()
+
+        def worker(env):
+            for _ in range(10):
+                yield env.timeout(1)
+
+        for _ in range(1_000):
+            env.process(worker(env))
+        env.run()
+        return env.now
+
+    now = benchmark(run)
+    assert now == 10
+
+
+def bench_rpc_round_trips(benchmark):
+    """2k request/reply cycles through the network stack."""
+
+    def run():
+        env = Environment()
+        net = Network(env, latency=ConstantLatency(1.0))
+        a, b = net.endpoint("a"), net.endpoint("b")
+        b.on("echo", lambda m: m.payload)
+
+        def client(env):
+            for i in range(2_000):
+                got = yield a.request("b", "echo", i)
+                assert got == i
+
+        env.process(client(env))
+        env.run()
+        return net.stats.sent_total
+
+    sent = benchmark(run)
+    assert sent == 4_000
+
+
+def bench_paper_system_build(benchmark):
+    """Full 3-site system assembly + bootstrap (100 items)."""
+    from repro.cluster import build_paper_system
+
+    def run():
+        system = build_paper_system(n_items=100)
+        return len(system.sites)
+
+    assert benchmark(run) == 3

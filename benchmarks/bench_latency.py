@@ -1,0 +1,28 @@
+"""Update latency — the paper's real-time property, measured.
+
+With one-way latency L: a locally-covered Delay Update completes in 0
+simulated time, an AV transfer costs 2L per round trip, and every
+centralized update costs exactly 2L. The median proposal latency is
+therefore 0 — the quantitative form of "the real-time property of
+update at retailers site is given the priority".
+"""
+
+from conftest import once
+
+from repro.experiments import LATENCY_HEADERS, run_latency_experiment
+from repro.metrics.report import text_table
+
+
+def bench_latency(benchmark, save_result):
+    result = once(benchmark, run_latency_experiment, n_updates=900)
+    save_result(
+        "latency",
+        text_table(LATENCY_HEADERS, result.rows(), title="Update latency")
+        + f"\nmean speedup vs centralized: {result.speedup():.1f}x",
+    )
+
+    prop = result.summaries["proposal"]
+    conv = result.summaries["centralized"]
+    assert prop.p50 == 0.0, "median delay update must be instantaneous"
+    assert conv.p50 == 2.0, "centralized is always one round trip (2L)"
+    assert prop.mean < conv.mean / 2

@@ -1,0 +1,55 @@
+"""Extension — the cost of eager replica propagation.
+
+The paper counts only "correspondences for update" (the traffic needed
+to *complete* updates); replicas reconcile lazily out of band. This
+bench turns eager propagation on, accounts it honestly under its own
+tag, and shows (a) the update-completion saving is unchanged, and (b)
+what full eager convergence would add — with a quiescence check proving
+all replicas then equal the ground truth.
+"""
+
+from conftest import once
+
+from repro.cluster import DistributedSystem, paper_config
+from repro.core.types import TAG_PROPAGATE, UPDATE_TAGS
+from repro.experiments import make_paper_trace, run_counted
+from repro.metrics.report import text_table
+
+
+def _run(n_updates=600, n_items=10, seed=0):
+    trace = make_paper_trace(n_updates, seed, n_items=n_items)
+    system = DistributedSystem.build(
+        paper_config(n_items=n_items, seed=seed, propagate=True)
+    )
+    run = run_counted(system, trace, "propagate", checkpoints=[n_updates])
+    system.run()  # drain remaining propagation traffic
+    system.check_invariants(quiescent=True)
+    return system, run
+
+
+def bench_propagation(benchmark, save_result):
+    system, run = once(benchmark, _run)
+    update_corr = system.stats.correspondences_for_tags(UPDATE_TAGS)
+    prop_corr = system.stats.correspondences_for_tag(TAG_PROPAGATE)
+    n = len(run.results)
+
+    save_result(
+        "propagation",
+        text_table(
+            ["traffic class", "correspondences", "per update"],
+            [
+                ["update completion (av)", update_corr, round(update_corr / n, 3)],
+                ["eager propagation (prop)", prop_corr, round(prop_corr / n, 3)],
+                ["total", update_corr + prop_corr,
+                 round((update_corr + prop_corr) / n, 3)],
+            ],
+            title="Extension — eager propagation cost (replicas converge)",
+        ),
+    )
+
+    # Completion traffic is unchanged by propagation being on.
+    assert update_corr / n < 0.5
+    # Eager propagation costs one message per peer per committed update
+    # = (n_sites - 1)/2 = 1 correspondence per committed update here.
+    committed = sum(1 for r in run.results if r.committed)
+    assert abs(prop_corr - committed) <= committed * 0.05 + 1

@@ -1,0 +1,77 @@
+"""Extension — read consistency levels: what staleness costs to fix.
+
+After the paper workload runs in lazy mode, replicas lag ground truth
+by the unsynced balances. This bench reads every item from a retailer
+at each consistency level and reports (a) the error vs the ledger and
+(b) the message cost — the quantified version of "you can have the
+answer now, or the *right* answer for one correspondence per peer".
+"""
+
+from conftest import once
+
+from repro.cluster import DistributedSystem, paper_config
+from repro.core.reads import ReadConsistency, TAG_READ
+from repro.experiments import make_paper_trace, run_counted
+from repro.metrics.report import text_table
+
+N_UPDATES = 600
+N_ITEMS = 10
+
+
+def _run(seed=4):
+    trace = make_paper_trace(N_UPDATES, seed, n_items=N_ITEMS)
+    system = DistributedSystem.build(paper_config(n_items=N_ITEMS, seed=seed))
+    run_counted(system, trace, "warmup", checkpoints=[N_UPDATES])
+    ledger = system.collector.ledger
+    reader = system.site("site1").accelerator
+
+    outcomes = {}
+    for level in (ReadConsistency.LOCAL, ReadConsistency.RECONCILED,
+                  ReadConsistency.LOCKED):
+        before = system.stats.by_tag.get(TAG_READ, 0)
+
+        def scenario(env, level=level):
+            errors = []
+            for item in system.catalog.items():
+                result = yield reader.read(item, level)
+                errors.append(abs(result.value - ledger.true_value(item)))
+            return errors
+
+        proc = system.env.process(scenario(system.env))
+        system.run(until=proc)
+        messages = system.stats.by_tag.get(TAG_READ, 0) - before
+        errors = proc.value
+        outcomes[level.value] = {
+            "mean_error": sum(errors) / len(errors),
+            "max_error": max(errors),
+            "messages": messages,
+        }
+    return outcomes
+
+
+def bench_reads(benchmark, save_result):
+    outcomes = once(benchmark, _run)
+    rows = [
+        [level, round(o["mean_error"], 2), round(o["max_error"], 2),
+         o["messages"]]
+        for level, o in outcomes.items()
+    ]
+    save_result(
+        "reads",
+        text_table(
+            ["consistency", "mean |error|", "max |error|",
+             f"messages ({N_ITEMS} items)"],
+            rows,
+            title="Extension — read consistency levels after the paper workload",
+        ),
+    )
+
+    local = outcomes["local"]
+    reconciled = outcomes["reconciled"]
+    locked = outcomes["locked"]
+    # Local reads are free but stale after a lazy-mode run...
+    assert local["messages"] == 0
+    assert local["mean_error"] > 0
+    # ...reconciled and locked reads are exact at 2(n-1) msgs per item.
+    assert reconciled["mean_error"] == 0 and locked["mean_error"] == 0
+    assert reconciled["messages"] == 4 * N_ITEMS

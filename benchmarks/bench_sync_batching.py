@@ -1,0 +1,112 @@
+"""Extension — the propagation spectrum: eager vs batched vs none.
+
+The paper's metric excludes replica reconciliation; this bench maps the
+whole trade. Eager propagation pushes every committed delta (1
+correspondence per committed update with 3 sites). Batched sync sends
+one net delta per peer per dirty item per interval — the longer the
+interval, the fewer the messages and the staler remote replicas get in
+between. Staleness is measured as the mean absolute divergence of
+replicas from the ground-truth ledger, sampled throughout the run.
+"""
+
+from conftest import once
+
+from repro.cluster import build_paper_system
+from repro.core import SyncScheduler
+from repro.core.types import TAG_PROPAGATE
+from repro.experiments import make_paper_trace
+from repro.metrics.report import text_table
+from repro.workload.driver import run_open, split_by_site
+
+N_UPDATES = 600
+INTERARRIVAL = 5.0
+
+
+def _staleness(system):
+    """Mean |replica - truth| per (site, item), normalised by initial."""
+    ledger = system.collector.ledger
+    total, n = 0.0, 0
+    for item in ledger.items():
+        truth = ledger.true_value(item)
+        for site in system.sites.values():
+            total += abs(site.store.value(item) - truth)
+            n += 1
+    return total / n
+
+
+def _run(mode, seed=6):
+    """mode: 'eager' | ('batch', interval) | 'none'."""
+    propagate = mode == "eager"
+    system = build_paper_system(n_items=10, seed=seed, propagate=propagate)
+    schedulers = []
+    if isinstance(mode, tuple):
+        for site in system.sites.values():
+            scheduler = SyncScheduler(site.accelerator, interval=mode[1])
+            scheduler.start()
+            schedulers.append(scheduler)
+
+    trace = make_paper_trace(N_UPDATES, seed, n_items=10)
+    per_site = split_by_site(trace)
+    horizon = max(len(v) for v in per_site.values()) * INTERARRIVAL + 100.0
+
+    # Sample staleness periodically during the run.
+    samples = []
+
+    def sampler(env):
+        while env.now < horizon:
+            yield env.timeout(50.0)
+            samples.append(_staleness(system))
+
+    system.env.process(sampler(system.env))
+    results = run_open(
+        system, per_site, interarrival=INTERARRIVAL, until=horizon
+    )
+    committed = sum(1 for r in results if r.committed)
+    return {
+        "prop_corr": system.stats.correspondences_for_tag(TAG_PROPAGATE),
+        "per_commit": system.stats.correspondences_for_tag(TAG_PROPAGATE)
+        / max(1, committed),
+        "staleness": sum(samples) / len(samples) if samples else 0.0,
+    }
+
+
+def bench_sync_batching(benchmark, save_result):
+    def run_all():
+        return {
+            "eager": _run("eager"),
+            "batch-25": _run(("batch", 25.0)),
+            "batch-100": _run(("batch", 100.0)),
+            "none": _run("none"),
+        }
+
+    outcomes = once(benchmark, run_all)
+    rows = [
+        [label, o["prop_corr"], round(o["per_commit"], 3), round(o["staleness"], 2)]
+        for label, o in outcomes.items()
+    ]
+    save_result(
+        "sync_batching",
+        text_table(
+            ["mode", "prop corr", "corr / commit", "mean staleness"],
+            rows,
+            title="Extension — propagation spectrum (cost vs staleness)",
+        ),
+    )
+
+    # Messages: eager > frequent batch > rare batch > none.
+    assert (
+        outcomes["eager"]["prop_corr"]
+        > outcomes["batch-25"]["prop_corr"]
+        > outcomes["batch-100"]["prop_corr"]
+        > outcomes["none"]["prop_corr"]
+        == 0.0
+    )
+    # Staleness runs the other way.
+    assert (
+        outcomes["eager"]["staleness"]
+        <= outcomes["batch-25"]["staleness"]
+        <= outcomes["batch-100"]["staleness"]
+        <= outcomes["none"]["staleness"]
+    )
+    # Eager costs ~1 correspondence per committed update (1 push/peer).
+    assert 0.8 <= outcomes["eager"]["per_commit"] <= 1.1

@@ -1,0 +1,43 @@
+"""repro — reproduction of the IPPS 2000 Allowable Volume consistency paper.
+
+Public API is re-exported here; see README.md for a tour. Subpackages:
+
+* :mod:`repro.sim` — discrete-event simulation kernel
+* :mod:`repro.net` — simulated network substrate
+* :mod:`repro.db` — per-site transactional store
+* :mod:`repro.core` — the paper's contribution (AV tables, accelerator,
+  Delay/Immediate update protocols)
+* :mod:`repro.cluster` — sites and system assembly
+* :mod:`repro.baselines` — conventional centralized & escrow baselines
+* :mod:`repro.workload` — SCM workload generators
+* :mod:`repro.metrics` — correspondence/latency/fairness instrumentation
+* :mod:`repro.experiments` — figure/table reproduction harness
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]
+
+
+def __getattr__(name: str):
+    # Lazy re-exports keep `import repro` light while still offering the
+    # convenient flat names documented in the README.
+    from importlib import import_module
+
+    flat = {
+        "Environment": "repro.sim",
+        "RngRegistry": "repro.sim",
+        "AVTable": "repro.core",
+        "Accelerator": "repro.core",
+        "Soda99Policy": "repro.core",
+        "SystemConfig": "repro.cluster",
+        "DistributedSystem": "repro.cluster",
+        "build_paper_system": "repro.cluster",
+        "PaperWorkload": "repro.workload",
+        "run_fig6": "repro.experiments",
+        "run_table1": "repro.experiments",
+    }
+    module = flat.get(name)
+    if module is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    return getattr(import_module(module), name)

@@ -1,0 +1,15 @@
+"""Analysis helpers: executable sequence diagrams from live traces."""
+
+from repro.analysis.sequence import (
+    SequenceEvent,
+    SequenceRecorder,
+    record_scenario,
+    render_sequence,
+)
+
+__all__ = [
+    "SequenceEvent",
+    "SequenceRecorder",
+    "record_scenario",
+    "render_sequence",
+]

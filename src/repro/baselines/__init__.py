@@ -1,0 +1,19 @@
+"""Baselines: centralized (the paper's "conventional"), all-immediate, escrow."""
+
+from repro.baselines.centralized import (
+    CENTER,
+    CentralClient,
+    CentralizedSystem,
+    CentralServer,
+)
+from repro.baselines.escrow import build_static_escrow_system
+from repro.baselines.primary_copy import build_all_immediate_system
+
+__all__ = [
+    "CENTER",
+    "CentralClient",
+    "CentralServer",
+    "CentralizedSystem",
+    "build_all_immediate_system",
+    "build_static_escrow_system",
+]

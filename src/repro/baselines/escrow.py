@@ -1,0 +1,25 @@
+"""Static escrow baseline: AV without circulation (ablation D).
+
+Classic escrow (O'Neil-style) partitions the headroom once; a site that
+exhausts its share must reject updates even while peers sit on unused
+volume. The paper's contribution over static escrow is precisely the
+autonomous *circulation* of AV — this baseline isolates that delta: same
+checking function, same local fast path, but the selecting/deciding
+machinery is disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.cluster.config import SystemConfig
+from repro.cluster.system import DistributedSystem
+
+
+def build_static_escrow_system(
+    config: Optional[SystemConfig] = None,
+) -> DistributedSystem:
+    """A :class:`DistributedSystem` with AV transfers disabled."""
+    config = config if config is not None else SystemConfig()
+    return DistributedSystem.build(replace(config, allow_transfers=False))

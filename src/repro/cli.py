@@ -1,0 +1,205 @@
+"""Command-line entry point: ``python -m repro <experiment>``.
+
+Regenerates any of the paper's artifacts (and our ablations) from the
+shell. Every experiment prints the same aligned tables its benchmark
+target does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro._version import __version__
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    from repro.experiments import run_fig6
+
+    result = run_fig6(
+        n_updates=args.updates, seed=args.seed, n_items=args.items
+    )
+    print(result.render())
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments import run_table1
+
+    result = run_table1(
+        n_updates=args.updates, seed=args.seed, n_items=args.items
+    )
+    print(result.render())
+    return 0
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        ABLATION_HEADERS,
+        ablate_escrow,
+        ablate_grant_policy,
+        ablate_selection_strategy,
+        ablate_update_mix,
+    )
+    from repro.metrics.report import text_table
+
+    runs = {
+        "grant policy (A)": ablate_grant_policy,
+        "selection strategy (B)": ablate_selection_strategy,
+        "static escrow (D)": ablate_escrow,
+        "update mix (E)": ablate_update_mix,
+    }
+    for title, fn in runs.items():
+        rows = fn(n_updates=args.updates, seed=args.seed)
+        print(text_table(ABLATION_HEADERS, rows, title=f"Ablation — {title}"))
+        print()
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.experiments import FAULT_HEADERS, run_fault_experiment
+    from repro.metrics.report import text_table
+
+    result = run_fault_experiment(n_updates=args.updates, seed=args.seed)
+    print(
+        text_table(
+            FAULT_HEADERS,
+            result.rows(),
+            title=(
+                f"Availability (fault window t="
+                f"[{result.fault_start:g}, {result.fault_end:g}])"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_latency(args: argparse.Namespace) -> int:
+    from repro.experiments import LATENCY_HEADERS, run_latency_experiment
+    from repro.metrics.report import text_table
+
+    result = run_latency_experiment(n_updates=args.updates, seed=args.seed)
+    print(text_table(LATENCY_HEADERS, result.rows(), title="Update latency"))
+    print(f"mean speedup vs centralized: {result.speedup():.1f}x")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        SWEEP_HEADERS,
+        sweep_av_fraction,
+        sweep_items,
+        sweep_rows,
+        sweep_scale,
+    )
+    from repro.metrics.report import text_table
+
+    sweeps = {
+        "items": sweep_items,
+        "scale": sweep_scale,
+        "av-fraction": sweep_av_fraction,
+    }
+    fn = sweeps[args.dimension]
+    print(
+        text_table(
+            SWEEP_HEADERS,
+            sweep_rows(fn(seed=args.seed)),
+            title=f"Sweep over {args.dimension}",
+        )
+    )
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.analysis import record_scenario
+    from repro.cluster import build_paper_system
+
+    print("Fig. 3 — Delay Update within the local site (no messages)\n")
+    system = build_paper_system(n_items=1, initial_stock=90.0, seed=args.seed)
+
+    def fig3(env):
+        yield system.update("site1", "item0", -10)
+
+    print(record_scenario(system, fig3, width=24) or "(empty)")
+
+    print("\nFig. 4 — Delay Update with AV transfer\n")
+    system = build_paper_system(n_items=1, initial_stock=90.0, seed=args.seed)
+
+    def fig4(env):
+        yield system.update("site1", "item0", -45)
+
+    print(record_scenario(system, fig4, width=24))
+
+    print("\nFig. 5 — Immediate Update (primary-copy commit)\n")
+    system = build_paper_system(
+        n_items=1, initial_stock=90.0, regular_fraction=0.0, seed=args.seed
+    )
+
+    def fig5(env):
+        yield system.update("site1", "item0", -5)
+
+    print(record_scenario(system, fig5, width=24))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction harness for 'Autonomous Consistency Technique in"
+            " Distributed Database with Heterogeneous Requirements'"
+            " (IPPS 2000)."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--updates", type=int, default=1000,
+                       help="total updates to issue (default 1000)")
+        p.add_argument("--seed", type=int, default=0, help="root seed")
+        p.add_argument("--items", type=int, default=10,
+                       help="catalogue size (default 10, the calibrated value)")
+
+    p = sub.add_parser("fig6", help="reproduce Fig. 6")
+    common(p)
+    p.set_defaults(fn=_cmd_fig6)
+
+    p = sub.add_parser("table1", help="reproduce Table 1")
+    common(p)
+    p.set_defaults(fn=_cmd_table1)
+
+    p = sub.add_parser("ablations", help="run design-choice ablations")
+    common(p)
+    p.set_defaults(fn=_cmd_ablations)
+
+    p = sub.add_parser("faults", help="fault-tolerance experiment")
+    common(p)
+    p.set_defaults(fn=_cmd_faults)
+
+    p = sub.add_parser("latency", help="latency comparison")
+    common(p)
+    p.set_defaults(fn=_cmd_latency)
+
+    p = sub.add_parser("sweep", help="parameter sweeps")
+    p.add_argument("dimension", choices=["items", "scale", "av-fraction"])
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser(
+        "figures", help="regenerate Figs. 3-5 (protocol sequence diagrams)"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_figures)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Cluster assembly: sites, catalogue, configuration, bootstrap, system."""
+
+from repro.cluster.bootstrap import bootstrap, split_volume
+from repro.cluster.catalog import (
+    Product,
+    ProductCatalog,
+    ProductClass,
+    make_catalog,
+)
+from repro.cluster.config import SystemConfig, paper_config
+from repro.cluster.site import Site, SiteRole
+from repro.cluster.system import DistributedSystem, InvariantViolation
+
+
+def build_paper_system(**overrides) -> DistributedSystem:
+    """One-liner for the paper's §4 deployment (3 sites, 100 items)."""
+    return DistributedSystem.build(paper_config(**overrides))
+
+
+__all__ = [
+    "DistributedSystem",
+    "InvariantViolation",
+    "Product",
+    "ProductCatalog",
+    "ProductClass",
+    "Site",
+    "SiteRole",
+    "SystemConfig",
+    "bootstrap",
+    "build_paper_system",
+    "make_catalog",
+    "paper_config",
+    "split_volume",
+]

@@ -1,0 +1,105 @@
+"""Initial data delivery (paper §3.2).
+
+"All data are assumed to be delivered to all the sites initially from
+the base." We model that assumption directly: bootstrap installs the
+catalogue into every site's store, defines AV entries for regular items,
+splits the AV pool according to the configured weights, and seeds every
+site's belief table with the initial allocation (each site knows the
+split it was dealt). Bootstrap is setup, not protocol — it sends no
+messages, matching the paper's accounting, which counts only
+correspondences *for update*.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+from repro.cluster.catalog import ProductCatalog
+from repro.metrics.collector import GlobalLedger
+
+
+def split_volume(
+    total: float, weights: Dict[str, float], order: Sequence[str]
+) -> Dict[str, float]:
+    """Split ``total`` across sites proportionally to ``weights``.
+
+    Integral totals stay integral: each site gets the floor of its share
+    and the leftover units go to the earliest sites in ``order`` (the
+    base site first, by convention), so ``sum(result) == total`` exactly.
+    """
+    if total < 0:
+        raise ValueError(f"negative total {total}")
+    missing = [s for s in order if s not in weights]
+    if missing:
+        raise ValueError(f"no AV weight for sites {missing}")
+    weight_sum = sum(weights[s] for s in order)
+    if weight_sum <= 0:
+        raise ValueError("AV weights must sum to a positive value")
+
+    if not float(total).is_integer():
+        return {s: total * weights[s] / weight_sum for s in order}
+
+    shares = {s: math.floor(total * weights[s] / weight_sum) for s in order}
+    leftover = int(total) - sum(shares.values())
+    for site in order:
+        if leftover <= 0:
+            break
+        shares[site] += 1
+        leftover -= 1
+    return {s: float(v) for s, v in shares.items()}
+
+
+def bootstrap(
+    sites,  # Dict[str, Site]; untyped to avoid an import cycle
+    catalog: ProductCatalog,
+    ledger: GlobalLedger,
+    av_fraction: float = 1.0,
+    av_weights: Dict[str, float] | None = None,
+    base: str | None = None,
+) -> None:
+    """Install catalogue data, AV allocation and initial beliefs.
+
+    Parameters
+    ----------
+    sites:
+        ``{name: Site}`` for every participant.
+    catalog:
+        The shared product catalogue.
+    ledger:
+        Receives every item's initial (ground-truth) value.
+    av_fraction:
+        Fraction of each regular item's initial stock distributed as AV.
+    av_weights:
+        Relative share per site; equal when omitted.
+    base:
+        Name of the base site (gets leftover units first); defaults to
+        the first site.
+    """
+    names = list(sites)
+    if base is None:
+        base = names[0]
+    order = [base] + [n for n in names if n != base]
+    weights = av_weights if av_weights is not None else {n: 1.0 for n in names}
+
+    for product in catalog:
+        ledger.set_initial(product.item, product.initial_stock)
+        for site in sites.values():
+            site.store.insert(product.item, product.initial_stock)
+
+        if not product.regular:
+            continue
+
+        pool = product.initial_stock * av_fraction
+        if float(product.initial_stock).is_integer():
+            pool = float(math.floor(pool))
+        shares = split_volume(pool, weights, order)
+        for name, site in sites.items():
+            site.av_table.define(product.item, shares[name])
+        # Everyone knows the initial deal (it came from the base).
+        for name, site in sites.items():
+            for peer, share in shares.items():
+                if peer != name:
+                    site.accelerator.beliefs.observe(
+                        peer, product.item, share, now=0.0
+                    )

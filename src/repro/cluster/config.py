@@ -1,0 +1,92 @@
+"""System configuration.
+
+One :class:`SystemConfig` fully determines a simulated system (given a
+seed): topology, catalogue shape, AV allocation, latency, and protocol
+knobs. The defaults reproduce the paper's §4 setup: one maker (site 0,
+the base) plus two retailers, 100 items, all regular, AV split equally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class SystemConfig:
+    """Everything needed to assemble a :class:`DistributedSystem`.
+
+    Attributes
+    ----------
+    n_retailers:
+        Number of retailer sites (the maker/base is always ``site0``).
+    n_items, initial_stock, regular_fraction:
+        Catalogue shape (see :func:`repro.cluster.catalog.make_catalog`).
+    av_fraction:
+        Fraction of each item's initial stock turned into allowable
+        volume at bootstrap (1.0 = all headroom distributed).
+    av_weights:
+        Relative AV share per site name; defaults to equal shares.
+    latency_mean:
+        One-way message latency (constant model). Experiments that need
+        other models construct the network themselves.
+    seed:
+        Root seed for every RNG stream in the run.
+    propagate:
+        Asynchronously push committed Delay deltas to peers.
+    request_timeout:
+        AV-request timeout (``None`` = wait forever; set for fault runs).
+    max_rounds, max_immediate_retries:
+        Protocol retry bounds (see :class:`~repro.core.accelerator.Accelerator`).
+    trace:
+        Record a structured event trace (costs memory; on for debugging
+        and the determinism tests).
+    """
+
+    n_retailers: int = 2
+    n_items: int = 100
+    initial_stock: float = 100.0
+    regular_fraction: float = 1.0
+    av_fraction: float = 1.0
+    av_weights: Optional[Dict[str, float]] = None
+    latency_mean: float = 1.0
+    seed: int = 0
+    propagate: bool = False
+    request_timeout: Optional[float] = None
+    max_rounds: int = 8
+    max_immediate_retries: int = 10
+    #: False = static escrow ablation (no AV circulation)
+    allow_transfers: bool = True
+    trace: bool = False
+    #: install a SizeModel so NetworkStats also counts wire bytes
+    count_bytes: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_retailers < 1:
+            raise ValueError("need at least one retailer")
+        if not 0.0 <= self.av_fraction <= 1.0:
+            raise ValueError(f"av_fraction {self.av_fraction} not in [0, 1]")
+        if self.latency_mean < 0:
+            raise ValueError("negative latency")
+
+    @property
+    def n_sites(self) -> int:
+        return self.n_retailers + 1
+
+    @property
+    def site_names(self) -> list[str]:
+        """``site0`` (maker/base) then ``site1..siteN`` (retailers)."""
+        return [f"site{i}" for i in range(self.n_sites)]
+
+    @property
+    def maker(self) -> str:
+        return "site0"
+
+    @property
+    def retailers(self) -> list[str]:
+        return self.site_names[1:]
+
+
+def paper_config(**overrides) -> SystemConfig:
+    """The §4 simulation configuration, with keyword overrides."""
+    return SystemConfig(**overrides)

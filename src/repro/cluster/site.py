@@ -1,0 +1,123 @@
+"""A site: local DB + accelerator + network endpoint (paper Fig. 2)."""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.accelerator import Accelerator
+from repro.core.types import UpdateResult
+from repro.db.storage import Store
+from repro.net.endpoint import Endpoint
+from repro.sim.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics.collector import MetricsCollector
+
+
+class SiteRole(enum.Enum):
+    MAKER = "maker"
+    RETAILER = "retailer"
+
+
+class Site:
+    """One participant in the distributed database.
+
+    Thin composition object: owns the store, the endpoint and the
+    accelerator, and reports finished updates to the shared collector.
+    """
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        store: Store,
+        accelerator: Accelerator,
+        role: SiteRole,
+        collector: Optional["MetricsCollector"] = None,
+    ) -> None:
+        self.endpoint = endpoint
+        self.store = store
+        self.accelerator = accelerator
+        self.role = role
+        self.collector = collector
+        self.env = endpoint.env
+
+    @property
+    def name(self) -> str:
+        return self.endpoint.name
+
+    @property
+    def is_maker(self) -> bool:
+        return self.role is SiteRole.MAKER
+
+    @property
+    def av_table(self):
+        return self.accelerator.av_table
+
+    @property
+    def crashed(self) -> bool:
+        return self.endpoint.crashed
+
+    def update(self, item: str, delta: float) -> Process:
+        """Issue an update; the returned process yields an UpdateResult."""
+        proc = self.accelerator.update(item, delta)
+        if self.collector is not None:
+            proc.callbacks.append(self._record)
+        return proc
+
+    def _record(self, event) -> None:
+        if event.ok and isinstance(event.value, UpdateResult):
+            self.collector.record(event.value)
+
+    def value(self, item: str) -> float:
+        """The site's current replica value for ``item``."""
+        return self.store.value(item)
+
+    def restart(self):
+        """Recover this site after a crash.
+
+        Brings the endpoint back, then repairs local state exactly as a
+        restarting database would:
+
+        * WAL recovery compensates every in-flight transaction — except
+          in-doubt 2PC participants, which stay prepared;
+        * each in-doubt participant runs the 2PC termination protocol:
+          it queries the token's coordinator for the logged decision and
+          commits or aborts accordingly (spawned as processes; they
+          retry while the coordinator itself is down — textbook 2PC
+          blocking, surfaced rather than hidden);
+        * pending lazy-sync balances are pushed so peers catch up on
+          what this site committed before the crash.
+
+        Returns the :class:`~repro.db.recovery.RecoveryReport`.
+        """
+        from repro.db.recovery import recover
+
+        accel = self.accelerator
+        self.endpoint.network.faults.recover(self.name)
+
+        in_doubt = frozenset(
+            txn.txn_id for txn, _item in accel.immediate._pending.values()
+        )
+        report = recover(
+            self.store, accel.txns.wal, now=self.env.now, exclude=in_doubt
+        )
+        def sequence(env):
+            # In-doubt txns MUST resolve before the snapshot pull: a
+            # post-pull abort compensation would corrupt the fresh value.
+            resolutions = accel.immediate.resolve_pending()
+            if resolutions:
+                yield env.all_of(resolutions)
+            # Catch up on Immediate Updates that committed among the
+            # live members while we were down (re-delivery from the
+            # base, §3.2).
+            yield from accel.immediate.catch_up()
+
+        self.env.process(sequence(self.env), name=f"{self.name}.restart")
+
+        # Share what we committed before dying.
+        accel.sync_all()
+        return report
+
+    def __repr__(self) -> str:
+        return f"<Site {self.name!r} role={self.role.value}>"

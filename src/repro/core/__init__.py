@@ -1,0 +1,96 @@
+"""The paper's contribution: AV tables, the accelerator, both update modes."""
+
+from repro.core.accelerator import Accelerator
+from repro.core.assurance import (
+    AssuranceReport,
+    assurance_report,
+    jain_index,
+    max_spread,
+)
+from repro.core.av_table import AVTable, Hold
+from repro.core.beliefs import Belief, BeliefTable
+from repro.core.delay_update import DelayUpdateProtocol
+from repro.core.errors import AVUndefined, CoreError, InsufficientAV, InvalidVolume
+from repro.core.immediate_update import ImmediateUpdateProtocol
+from repro.core.reads import TAG_READ, ReadConsistency, ReadProtocol, ReadResult
+from repro.core.rebalancer import TAG_REBALANCE, AVRebalancer
+from repro.core.sync import SyncScheduler
+from repro.core.reclassify import (
+    TAG_RECLASS,
+    ReclassificationError,
+    ReclassificationProtocol,
+)
+from repro.core.policies import (
+    DecidingPolicy,
+    ExactPolicy,
+    GrantAllPolicy,
+    OverdraftPolicy,
+    ProportionalPolicy,
+    Soda99Policy,
+)
+from repro.core.strategies import (
+    BelievedRichestStrategy,
+    FixedOrderStrategy,
+    RandomStrategy,
+    RoundRobinStrategy,
+    SelectionStrategy,
+)
+from repro.core.types import (
+    TAG_AV,
+    TAG_CENTRAL,
+    TAG_IMMEDIATE,
+    TAG_PROPAGATE,
+    UPDATE_TAGS,
+    UpdateKind,
+    UpdateOutcome,
+    UpdateRequest,
+    UpdateResult,
+)
+
+__all__ = [
+    "AVRebalancer",
+    "AVTable",
+    "AVUndefined",
+    "Accelerator",
+    "ReclassificationError",
+    "ReclassificationProtocol",
+    "TAG_REBALANCE",
+    "TAG_RECLASS",
+    "AssuranceReport",
+    "Belief",
+    "BeliefTable",
+    "BelievedRichestStrategy",
+    "CoreError",
+    "DecidingPolicy",
+    "DelayUpdateProtocol",
+    "ExactPolicy",
+    "FixedOrderStrategy",
+    "GrantAllPolicy",
+    "Hold",
+    "ImmediateUpdateProtocol",
+    "InsufficientAV",
+    "InvalidVolume",
+    "OverdraftPolicy",
+    "ProportionalPolicy",
+    "RandomStrategy",
+    "ReadConsistency",
+    "ReadProtocol",
+    "ReadResult",
+    "RoundRobinStrategy",
+    "SelectionStrategy",
+    "Soda99Policy",
+    "SyncScheduler",
+    "TAG_AV",
+    "TAG_CENTRAL",
+    "TAG_IMMEDIATE",
+    "TAG_PROPAGATE",
+    "TAG_READ",
+    "UPDATE_TAGS",
+    "UpdateKind",
+    "UpdateOutcome",
+    "UpdateRequest",
+    "UpdateResult",
+    "assurance_report",
+    "jain_index",
+    "max_spread",
+]

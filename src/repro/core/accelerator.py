@@ -1,0 +1,358 @@
+"""The accelerator (paper §3.3): one per site.
+
+The accelerator is the paper's central artifact — the component placed at
+each site that owns the AV management table and realises both update
+modes through three functions:
+
+* **checking** — classify each user update as Delay (AV entry exists) or
+  Immediate (no AV entry);
+* **selecting** — choose which peer to ask for AV
+  (:mod:`repro.core.strategies`);
+* **deciding** — how much AV to request/grant
+  (:mod:`repro.core.policies`).
+
+Construction wires the protocol handlers onto the site's endpoint; the
+only entry point users need is :meth:`update`, which returns a process
+event yielding an :class:`~repro.core.types.UpdateResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.av_table import AVTable
+from repro.core.beliefs import BeliefTable
+from repro.core.delay_update import DelayUpdateProtocol
+from repro.core.immediate_update import ImmediateUpdateProtocol
+from repro.core.policies import DecidingPolicy, Soda99Policy
+from repro.core.strategies import BelievedRichestStrategy, SelectionStrategy
+from repro.core.types import UpdateKind, UpdateRequest
+from repro.db.locks import LockManager
+from repro.db.storage import Store
+from repro.db.transaction import TransactionManager
+from repro.net.endpoint import Endpoint
+from repro.sim.process import Process
+from repro.sim.tracing import NullTracer, Tracer
+
+
+class Accelerator:
+    """Per-site protocol engine.
+
+    Parameters
+    ----------
+    endpoint:
+        The site's network endpoint (handlers are registered on it).
+    store:
+        The site's local replica.
+    base_site:
+        Name of the base (primary-copy) site, normally the maker.
+    strategy, policy:
+        Selecting strategy and deciding policy; default to the paper's
+        (believed-richest, SODA'99 half-grant).
+    rng:
+        Random stream for protocol jitter (immediate-update backoff).
+    propagate:
+        Push committed Delay deltas to peers asynchronously.
+    request_timeout:
+        Timeout for AV transfer requests; ``None`` waits forever (fine
+        without faults; fault experiments set one).
+    max_rounds:
+        Extra all-peer passes allowed while gathering AV, provided the
+        previous pass made progress.
+    max_immediate_retries:
+        Attempts before an Immediate Update gives up under contention.
+    """
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        store: Store,
+        base_site: str,
+        strategy: Optional[SelectionStrategy] = None,
+        policy: Optional[DecidingPolicy] = None,
+        rng: Optional[np.random.Generator] = None,
+        tracer: Optional[Tracer] = None,
+        propagate: bool = False,
+        request_timeout: Optional[float] = None,
+        max_rounds: int = 8,
+        max_immediate_retries: int = 10,
+        allow_transfers: bool = True,
+    ) -> None:
+        self.endpoint = endpoint
+        self.env = endpoint.env
+        self.site = endpoint.name
+        self.store = store
+        self.base_site = base_site
+        self.av_table = AVTable(self.site)
+        self.beliefs = BeliefTable(self.site)
+        self.locks = LockManager(self.env, name=f"{self.site}.locks")
+        self.txns = TransactionManager(store, clock=lambda: self.env.now)
+        self.strategy = strategy if strategy is not None else BelievedRichestStrategy()
+        self.policy = policy if policy is not None else Soda99Policy()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.propagate = propagate
+        self.request_timeout = request_timeout
+        self.max_rounds = max_rounds
+        self.max_immediate_retries = max_immediate_retries
+        #: False = static escrow: never request AV from peers (ablation D)
+        self.allow_transfers = allow_transfers
+
+        self.delay = DelayUpdateProtocol(self)
+        self.immediate = ImmediateUpdateProtocol(self)
+        from repro.core.reclassify import ReclassificationProtocol
+
+        self.reclassify = ReclassificationProtocol(self)
+        from repro.core.reads import ReadProtocol
+
+        self.reads = ReadProtocol(self)
+
+        #: counts by kind (diagnostics)
+        self.updates_started = 0
+        # Per-site request ids keep repeated runs in one process
+        # bit-identical (the module-global fallback does not).
+        from itertools import count as _count
+
+        self._req_ids = _count(1)
+
+        #: committed Delay deltas not yet pushed, **per peer**:
+        #: ``(peer, item) -> net delta``. Per-peer balances make batched
+        #: sync fault-tolerant: a crashed peer's balance is simply
+        #: retained until it recovers (a single aggregate would be lost
+        #: the first time a sync partially delivers). Eager propagation
+        #: keeps this empty.
+        self.owed: dict[tuple[str, str], float] = {}
+        # Freeze/quiesce machinery for reclassification: a frozen item
+        # admits no new Delay updates, and `quiesce` fires once in-flight
+        # ones drain.
+        from repro.sim.events import Event as _Event
+
+        self._frozen: dict[str, "_Event"] = {}
+        self._active_delay: dict[str, int] = {}
+        self._quiesce_waiters: dict[str, list["_Event"]] = {}
+
+    # ---------------------------------------------------------------- #
+    # paper functions
+    # ---------------------------------------------------------------- #
+
+    def check(self, item: str) -> UpdateKind:
+        """The checking function: Delay iff AV is defined for the item."""
+        return UpdateKind.DELAY if self.av_table.defined(item) else UpdateKind.IMMEDIATE
+
+    # ---------------------------------------------------------------- #
+    # public entry point
+    # ---------------------------------------------------------------- #
+
+    def update(self, item: str, delta: float) -> Process:
+        """Start an update; returns a process yielding an UpdateResult."""
+        req = UpdateRequest(
+            site=self.site,
+            item=item,
+            delta=delta,
+            issued_at=self.env.now,
+            request_id=next(self._req_ids),
+        )
+        self.updates_started += 1
+        return self.env.process(self._run(req), name=f"{self.site}.{req}")
+
+    def read(self, item: str, consistency=None) -> Process:
+        """Start a read; the process yields a ReadResult.
+
+        ``consistency`` is a :class:`~repro.core.reads.ReadConsistency`
+        (default LOCAL — instant, zero messages).
+        """
+        from repro.core.reads import ReadConsistency
+
+        if consistency is None:
+            consistency = ReadConsistency.LOCAL
+        return self.env.process(
+            self.reads.execute(item, consistency),
+            name=f"{self.site}.read({item},{consistency.value})",
+        )
+
+    def make_regular(self, item: str, av_fraction: float = 1.0, weights=None) -> Process:
+        """Start a global reclassification to regular (Delay-eligible).
+
+        Raises :class:`~repro.core.reclassify.ReclassificationError`
+        immediately if the item is already regular here.
+        """
+        from repro.core.reclassify import ReclassificationError
+
+        if self.av_table.defined(item):
+            raise ReclassificationError(f"{item!r} is already regular")
+        return self.env.process(
+            self.reclassify.make_regular(item, av_fraction, weights),
+            name=f"{self.site}.make_regular({item})",
+        )
+
+    def make_non_regular(self, item: str) -> Process:
+        """Start a global reclassification to non-regular (Immediate).
+
+        Raises :class:`~repro.core.reclassify.ReclassificationError`
+        immediately if the item is already non-regular here.
+        """
+        from repro.core.reclassify import ReclassificationError
+
+        if not self.av_table.defined(item):
+            raise ReclassificationError(f"{item!r} is already non-regular")
+        return self.env.process(
+            self.reclassify.make_non_regular(item),
+            name=f"{self.site}.make_non_regular({item})",
+        )
+
+    def _run(self, req: UpdateRequest):
+        from repro.core.types import UpdateOutcome, UpdateResult
+        from repro.net.endpoint import CrashedEndpointError
+
+        kind = self.check(req.item)
+        try:
+            if kind is UpdateKind.DELAY:
+                result = yield from self.delay.execute(req)
+            else:
+                result = yield from self.immediate.execute(req)
+        except CrashedEndpointError:
+            # The site died mid-protocol. The protocol released its hold
+            # on the way out, so local AV state is exact; volume granted
+            # by a peer while our reply was in flight is lost in transit
+            # — conservative: the AV-conservation bound only ever loses
+            # volume that way, never gains it.
+            result = UpdateResult(
+                request=req,
+                kind=kind,
+                outcome=UpdateOutcome.FAILED,
+                finished_at=self.env.now,
+            )
+        return result
+
+    # ---------------------------------------------------------------- #
+    # helpers used by the protocols
+    # ---------------------------------------------------------------- #
+
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    def live_peers(self) -> list[str]:
+        """Peers not currently known-crashed.
+
+        The fault model is crash-visible (retailers learn of a maker
+        outage out of band, as the paper's autonomous-decentralised
+        systems assume); protocols simply skip crashed peers and rely on
+        request timeouts for crashes they race with.
+        """
+        faults = self.endpoint.network.faults
+        return [p for p in self.endpoint.peers() if not faults.is_crashed(p)]
+
+    def trace(self, kind: str, detail: str) -> None:
+        self.tracer.emit(self.env.now, kind, self.site, detail)
+
+    # ---------------------------------------------------------------- #
+    # lazy propagation (batched sync)
+    # ---------------------------------------------------------------- #
+
+    def record_unsynced(self, item: str, delta: float) -> None:
+        """Remember a committed Delay delta each peer has not seen yet."""
+        for peer in self.endpoint.peers():
+            key = (peer, item)
+            balance = self.owed.get(key, 0.0) + delta
+            if balance == 0.0:
+                self.owed.pop(key, None)
+            else:
+                self.owed[key] = balance
+
+    def owed_to(self, peer: str, item: str) -> float:
+        """Net delta ``peer`` has not yet seen for ``item``."""
+        return self.owed.get((peer, item), 0.0)
+
+    def take_owed(self, peer: str, item: str) -> float:
+        """Claim (and clear) the balance owed to ``peer`` for ``item``."""
+        return self.owed.pop((peer, item), 0.0)
+
+    def clear_owed_item(self, item: str) -> None:
+        """Drop every balance for ``item`` (its value was superseded)."""
+        for key in [k for k in self.owed if k[1] == item]:
+            del self.owed[key]
+
+    def unsynced_items(self) -> set[str]:
+        """Items with any pending balance."""
+        return {item for _, item in self.owed}
+
+    def sync_item(self, item: str) -> int:
+        """Push the item's batched delta to every live peer it is owed to.
+
+        Returns the number of messages sent — one per (live) peer with a
+        balance, however many updates accumulated. Balances owed to
+        crashed peers are retained for delivery after recovery.
+        """
+        from repro.core.types import TAG_PROPAGATE
+
+        sent = 0
+        live = set(self.live_peers())
+        for peer in list(live):
+            delta = self.owed.pop((peer, item), 0.0)
+            if delta == 0.0:
+                continue
+            self.endpoint.send(
+                peer, "prop.push", {"item": item, "delta": delta}, tag=TAG_PROPAGATE
+            )
+            sent += 1
+        if sent:
+            self.trace("sync.push", f"{item} to {sent} peers")
+        return sent
+
+    def sync_all(self) -> int:
+        """Push every pending batched delta; returns messages sent."""
+        return sum(self.sync_item(item) for item in self.unsynced_items())
+
+    # ---------------------------------------------------------------- #
+    # freeze / quiesce (used by reclassification)
+    # ---------------------------------------------------------------- #
+
+    def freeze(self, item: str) -> None:
+        """Stop admitting new Delay updates for ``item`` (idempotent)."""
+        if item not in self._frozen:
+            from repro.sim.events import Event
+
+            self._frozen[item] = Event(self.env)
+
+    def unfreeze(self, item: str) -> None:
+        """Re-admit Delay updates; wakes everything waiting on the gate."""
+        gate = self._frozen.pop(item, None)
+        if gate is not None:
+            gate.succeed()
+
+    def frozen_gate(self, item: str):
+        """The event a Delay update must wait on, or ``None`` if open."""
+        return self._frozen.get(item)
+
+    def quiesce(self, item: str):
+        """Event firing once no Delay update on ``item`` is in flight."""
+        from repro.sim.events import Event
+
+        event = Event(self.env)
+        if self._active_delay.get(item, 0) == 0:
+            event.succeed()
+        else:
+            self._quiesce_waiters.setdefault(item, []).append(event)
+        return event
+
+    def _delay_begin(self, item: str) -> None:
+        self._active_delay[item] = self._active_delay.get(item, 0) + 1
+
+    def _delay_end(self, item: str) -> None:
+        remaining = self._active_delay.get(item, 0) - 1
+        if remaining <= 0:
+            self._active_delay.pop(item, None)
+            for event in self._quiesce_waiters.pop(item, []):
+                if not event.triggered:
+                    event.succeed()
+        else:
+            self._active_delay[item] = remaining
+
+    def __repr__(self) -> str:
+        return (
+            f"<Accelerator {self.site!r} av_items={len(self.av_table)}"
+            f" updates={self.updates_started}>"
+        )

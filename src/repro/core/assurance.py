@@ -1,0 +1,89 @@
+"""Assurance metrics (paper §2.1).
+
+The paper defines *assurance* as satisfying heterogeneous — possibly
+contradictory — per-site requirements **fairly**. Its evidence in Table 1
+is that the retailer sites' correspondence counts are "almost same ...
+and increase very slowly". We quantify both halves:
+
+* **fairness** across the retailer sites' communication costs — Jain's
+  fairness index (1.0 = perfectly equal);
+* **real-time attainment** — the fraction of Delay Updates that completed
+  with zero communication (locally), the paper's proxy for the
+  retailers' real-time requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(Σx)² / (n · Σx²)``.
+
+    Ranges from ``1/n`` (one site bears everything) to ``1.0`` (equal).
+    An empty or all-zero vector is perfectly fair by convention.
+    """
+    xs = list(values)
+    if not xs:
+        return 1.0
+    if any(x < 0 for x in xs):
+        raise ValueError("fairness is defined over nonnegative costs")
+    total = sum(xs)
+    if total == 0:
+        return 1.0
+    return total * total / (len(xs) * sum(x * x for x in xs))
+
+
+def max_spread(values: Sequence[float]) -> float:
+    """Relative spread ``(max - min) / mean``; 0 when perfectly equal."""
+    xs = list(values)
+    if not xs:
+        return 0.0
+    mean = sum(xs) / len(xs)
+    if mean == 0:
+        return 0.0
+    return (max(xs) - min(xs)) / mean
+
+
+@dataclass(frozen=True)
+class AssuranceReport:
+    """Summary of how well the integrated system served everyone."""
+
+    #: Jain index over the retailer sites' correspondence counts
+    retailer_fairness: float
+    #: relative spread of the same counts
+    retailer_spread: float
+    #: fraction of delay updates completed with zero communication
+    local_completion_ratio: float
+    #: fraction of delay updates that committed (vs rejected)
+    commit_ratio: float
+
+    @property
+    def assured(self) -> bool:
+        """The paper's qualitative bar: fair and mostly local."""
+        return self.retailer_fairness > 0.95 and self.local_completion_ratio > 0.5
+
+    def __str__(self) -> str:
+        return (
+            f"AssuranceReport(fairness={self.retailer_fairness:.4f},"
+            f" spread={self.retailer_spread:.3f},"
+            f" local={self.local_completion_ratio:.1%},"
+            f" committed={self.commit_ratio:.1%})"
+        )
+
+
+def assurance_report(
+    retailer_correspondences: Mapping[str, float],
+    delay_total: int,
+    delay_local: int,
+    delay_committed: int,
+) -> AssuranceReport:
+    """Build an :class:`AssuranceReport` from harness counters."""
+    counts = list(retailer_correspondences.values())
+    return AssuranceReport(
+        retailer_fairness=jain_index(counts),
+        retailer_spread=max_spread(counts),
+        local_completion_ratio=(delay_local / delay_total) if delay_total else 1.0,
+        commit_ratio=(delay_committed / delay_total) if delay_total else 1.0,
+    )

@@ -1,0 +1,189 @@
+"""The Allowable Volume management table (paper §2.2/§3.3).
+
+Each site holds one :class:`AVTable`. For every *regular* item the table
+stores the site's allowable volume: the amount by which the site may
+decrease the item's stock autonomously, with zero communication. Items
+absent from the table are non-regular and take the Immediate Update path
+— so `defined()` **is** the paper's "checking function" predicate.
+
+The table also implements *holds*: while gathering AV from peers, the
+accelerator moves local AV into a hold so concurrent local updates cannot
+double-spend it, yet without locking the item (paper: "it is not
+necessary to lock the AV exclusively until the completion of whole
+transaction").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.core.errors import AVUndefined, InsufficientAV, InvalidVolume
+
+
+class Hold:
+    """AV reserved for one in-progress update.
+
+    Accumulates volume (local takes and peer grants); at the end the
+    protocol either :meth:`consume`\\ s the needed amount (returning any
+    excess to the table) or :meth:`release`\\ s everything back.
+    """
+
+    __slots__ = ("table", "item", "amount", "closed")
+
+    def __init__(self, table: "AVTable", item: str) -> None:
+        self.table = table
+        self.item = item
+        self.amount = 0.0
+        self.closed = False
+
+    def add(self, amount: float) -> None:
+        """Add volume (from a local take or a peer grant) to the hold."""
+        self._check_open()
+        if amount < 0:
+            raise InvalidVolume(f"cannot hold negative volume {amount}")
+        self.amount += amount
+
+    def consume(self, needed: float) -> None:
+        """Spend ``needed`` from the hold; excess returns to the table."""
+        self._check_open()
+        if needed < 0:
+            raise InvalidVolume(f"cannot consume negative volume {needed}")
+        if needed > self.amount + 1e-9:
+            raise InsufficientAV(self.item, self.amount, needed)
+        excess = self.amount - needed
+        if excess > 0:
+            self.table.add(self.item, excess)
+        self.amount = 0.0
+        self.closed = True
+
+    def release(self) -> None:
+        """Return the entire hold to the table (update gave up)."""
+        self._check_open()
+        if self.amount > 0:
+            self.table.add(self.item, self.amount)
+        self.amount = 0.0
+        self.closed = True
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise InvalidVolume(f"hold on {self.item!r} already closed")
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else f"{self.amount}"
+        return f"<Hold {self.item!r} {state}>"
+
+
+class AVTable:
+    """Per-site allowable-volume ledger.
+
+    Parameters
+    ----------
+    site:
+        Owning site's name (for error messages and traces).
+    """
+
+    def __init__(self, site: str = "site") -> None:
+        self.site = site
+        self._av: Dict[str, float] = {}
+        #: open holds (diagnostic; should be empty at quiescence)
+        self.open_holds = 0
+
+    # ---------------------------------------------------------------- #
+    # the checking-function predicate
+    # ---------------------------------------------------------------- #
+
+    def defined(self, item: str) -> bool:
+        """``True`` iff AV is managed for ``item`` (⇒ Delay Update)."""
+        return item in self._av
+
+    # ---------------------------------------------------------------- #
+    # schema
+    # ---------------------------------------------------------------- #
+
+    def define(self, item: str, initial: float = 0.0) -> None:
+        """Register ``item`` for AV management with ``initial`` volume."""
+        if item in self._av:
+            raise InvalidVolume(f"AV for {item!r} already defined at {self.site}")
+        if initial < 0:
+            raise InvalidVolume(f"negative initial AV {initial}")
+        self._av[item] = float(initial)
+
+    def undefine(self, item: str) -> float:
+        """Remove ``item`` from AV management; returns the dropped volume."""
+        if item not in self._av:
+            raise AVUndefined(item)
+        return self._av.pop(item)
+
+    # ---------------------------------------------------------------- #
+    # volume movement
+    # ---------------------------------------------------------------- #
+
+    def get(self, item: str) -> float:
+        """Current local AV for ``item``."""
+        try:
+            return self._av[item]
+        except KeyError:
+            raise AVUndefined(item) from None
+
+    def add(self, item: str, amount: float) -> float:
+        """Increase local AV (minting at the maker, or a received grant)."""
+        if amount < 0:
+            raise InvalidVolume(f"cannot add negative AV {amount}")
+        if item not in self._av:
+            raise AVUndefined(item)
+        self._av[item] += amount
+        return self._av[item]
+
+    def take(self, item: str, amount: float) -> float:
+        """Remove exactly ``amount``; raises :class:`InsufficientAV` if short."""
+        available = self.get(item)
+        if amount < 0:
+            raise InvalidVolume(f"cannot take negative AV {amount}")
+        if amount > available + 1e-9:
+            raise InsufficientAV(item, available, amount)
+        self._av[item] = available - amount
+        return amount
+
+    def take_up_to(self, item: str, amount: float) -> float:
+        """Remove ``min(amount, available)``; returns what was taken."""
+        if amount < 0:
+            raise InvalidVolume(f"cannot take negative AV {amount}")
+        available = self.get(item)
+        taken = min(amount, available)
+        self._av[item] = available - taken
+        return taken
+
+    def take_all(self, item: str) -> float:
+        """Drain the item's AV (paper: "holds all the AV at the site")."""
+        available = self.get(item)
+        self._av[item] = 0.0
+        return available
+
+    def hold(self, item: str) -> Hold:
+        """Open a :class:`Hold` for an in-progress update on ``item``."""
+        if item not in self._av:
+            raise AVUndefined(item)
+        return Hold(self, item)
+
+    # ---------------------------------------------------------------- #
+    # views
+    # ---------------------------------------------------------------- #
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        return iter(self._av.items())
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._av)
+
+    def total(self) -> float:
+        """Sum of AV across all items (conservation diagnostics)."""
+        return sum(self._av.values())
+
+    def __contains__(self, item: str) -> bool:
+        return item in self._av
+
+    def __len__(self) -> int:
+        return len(self._av)
+
+    def __repr__(self) -> str:
+        return f"<AVTable {self.site!r} items={len(self._av)} total={self.total():g}>"

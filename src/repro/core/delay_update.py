@@ -1,0 +1,308 @@
+"""Delay Update: AV-gated autonomous local updates (paper §3.3, Figs. 3-4).
+
+The protocol, exactly as the paper describes it:
+
+1. The accelerator receives an update request whose item *has* an AV entry
+   (the checking function already routed it here).
+2. A stock **increase** mints new allowable volume: apply locally, add the
+   delta to the local AV. Zero messages.
+3. A stock **decrease** needs AV cover:
+
+   * local AV sufficient → take it, apply locally. Zero messages.
+   * otherwise → *hold all the AV at the site* and request peers for the
+     shortage. The selecting strategy picks the target (believed-richest
+     per the paper); the deciding policy sets the request amount (the
+     shortage) and, at the grantor, the granted amount (half of holdings,
+     per the SODA'99 reference). Replies piggyback the grantor's remaining
+     AV, refreshing the requester's beliefs. The requester re-requests
+     until it has enough, then applies; leftover AV goes back to the local
+     table. If every reachable peer is dry, all accumulated AV is returned
+     and the update is **rejected** (cannot ship).
+
+Rollback needs no exclusive AV lock: an aborted update compensates with
+the opposite delta, so concurrent updates may spend AV freely in between
+(paper: "extra AV can be used by other process while one process accesses
+the same data").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.types import (
+    TAG_AV,
+    TAG_PROPAGATE,
+    UpdateKind,
+    UpdateOutcome,
+    UpdateRequest,
+    UpdateResult,
+)
+from repro.net.endpoint import RequestTimeout
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.accelerator import Accelerator
+
+
+class DelayUpdateProtocol:
+    """Executes Delay Updates and serves AV-transfer requests for one site.
+
+    Parameters
+    ----------
+    accel:
+        The owning accelerator (provides endpoint, tables, strategy,
+        policy, transactions, tracer, configuration).
+    """
+
+    def __init__(self, accel: "Accelerator") -> None:
+        self.accel = accel
+        accel.endpoint.on("av.request", self.handle_av_request)
+        accel.endpoint.on("av.push", self.handle_av_push)
+        accel.endpoint.on("prop.push", self.handle_propagation)
+        #: grants served, volume granted (diagnostics)
+        self.grants_served = 0
+        self.volume_granted = 0.0
+
+    # ---------------------------------------------------------------- #
+    # requester side
+    # ---------------------------------------------------------------- #
+
+    def execute(self, req: UpdateRequest):
+        """Generator driving one Delay Update to completion.
+
+        Wraps the protocol body with the freeze gate (reclassification
+        stops new updates) and in-flight accounting (so `quiesce` can
+        wait for the protocol to drain).
+        """
+        accel = self.accel
+        # Wait while the item is frozen (re-check: it may re-freeze).
+        while True:
+            gate = accel.frozen_gate(req.item)
+            if gate is None:
+                break
+            yield gate
+        if not accel.av_table.defined(req.item):
+            # Reclassified to non-regular while we waited at the gate.
+            result = yield from accel.immediate.execute(req)
+            return result
+        accel._delay_begin(req.item)
+        try:
+            result = yield from self._execute(req)
+        finally:
+            accel._delay_end(req.item)
+        return result
+
+    def _execute(self, req: UpdateRequest):
+        """The protocol body (see class docs)."""
+        accel = self.accel
+        item, delta = req.item, req.delta
+        av = accel.av_table
+
+        if delta >= 0:
+            # Increase: new stock is new headroom — mint AV locally.
+            self._apply(item, delta)
+            av.add(item, delta)
+            accel.trace("delay.local", f"{req} minted {delta:g} AV")
+            self._propagate(item, delta)
+            return self._done(req, UpdateOutcome.COMMITTED, local=True)
+
+        need = -delta
+        if av.get(item) >= need:
+            # The paper's headline path: complete within the local site.
+            av.take(item, need)
+            self._apply(item, delta)
+            accel.trace("delay.local", f"{req} covered by local AV")
+            self._propagate(item, delta)
+            return self._done(req, UpdateOutcome.COMMITTED, local=True)
+
+        if not accel.allow_transfers:
+            # Static-escrow ablation: the allocation is fixed at
+            # bootstrap, so an uncovered decrement is simply rejected.
+            accel.trace("delay.reject", f"{req} static escrow exhausted")
+            return self._done(req, UpdateOutcome.REJECTED)
+
+        # Local AV insufficient: hold everything we have and go shopping.
+        hold = av.hold(item)
+        hold.add(av.take_all(item))
+        accel.trace("delay.gather", f"{req} holding {hold.amount:g}, need {need:g}")
+
+        tried: set[str] = set()
+        av_requests = 0
+        obtained = 0.0
+        rounds = 0
+        progress = False
+
+        while hold.amount < need:
+            target = accel.strategy.select(
+                item, accel.live_peers(), frozenset(tried), accel.beliefs
+            )
+            if target is None:
+                # Everyone asked once this round. Retry only if somebody
+                # granted something (otherwise the system is dry).
+                if progress and rounds < accel.max_rounds:
+                    rounds += 1
+                    tried.clear()
+                    progress = False
+                    continue
+                hold.release()
+                accel.trace("delay.reject", f"{req} gathered {obtained:g}, dry")
+                return self._done(
+                    req,
+                    UpdateOutcome.REJECTED,
+                    av_requests=av_requests,
+                    av_obtained=obtained,
+                )
+
+            tried.add(target)
+            shortage = need - hold.amount
+            ask = accel.policy.request_amount(shortage)
+            av_requests += 1
+            try:
+                reply = yield accel.endpoint.request(
+                    target,
+                    "av.request",
+                    {
+                        "item": item,
+                        "amount": ask,
+                        # piggyback our level so the grantor's beliefs stay fresh
+                        "requester_av": hold.amount,
+                    },
+                    tag=TAG_AV,
+                    timeout=accel.request_timeout,
+                )
+            except RequestTimeout:
+                accel.trace("delay.timeout", f"{req} no reply from {target}")
+                continue
+            except BaseException:
+                # Typically CrashedEndpointError: we died mid-gathering.
+                # Return the held volume to the table so no AV leaks —
+                # the site's state must be exact when it restarts.
+                hold.release()
+                raise
+
+            granted = reply["granted"]
+            accel.beliefs.observe(target, item, reply["av_after"], accel.now)
+            if granted > 0:
+                progress = True
+                obtained += granted
+                hold.add(granted)
+            accel.trace(
+                "delay.grant",
+                f"{req} got {granted:g} from {target} (hold {hold.amount:g})",
+            )
+
+        hold.consume(need)
+        self._apply(item, delta)
+        accel.trace("delay.remote", f"{req} completed after {av_requests} requests")
+        self._propagate(item, delta)
+        return self._done(
+            req,
+            UpdateOutcome.COMMITTED,
+            av_requests=av_requests,
+            av_obtained=obtained,
+        )
+
+    # ---------------------------------------------------------------- #
+    # grantor side
+    # ---------------------------------------------------------------- #
+
+    def handle_av_request(self, msg):
+        """Serve an AV transfer: grant per policy, piggyback our level."""
+        accel = self.accel
+        item = msg.payload["item"]
+        requested = msg.payload["amount"]
+        accel.beliefs.observe(
+            msg.src, item, msg.payload.get("requester_av", 0.0), accel.now
+        )
+        if not accel.av_table.defined(item):
+            return {"granted": 0.0, "av_after": 0.0}
+        available = accel.av_table.get(item)
+        granted = accel.policy.grant_amount(available, requested)
+        if granted > 0:
+            accel.av_table.take(item, granted)
+            self.grants_served += 1
+            self.volume_granted += granted
+        after = accel.av_table.get(item)
+        accel.trace("delay.serve", f"granted {granted:g} {item} to {msg.src}")
+        return {"granted": granted, "av_after": after}
+
+    def handle_av_push(self, msg):
+        """Accept unsolicited AV (from a proactive rebalancer, see
+        :mod:`repro.core.rebalancer`); bounce it if we no longer manage
+        the item, and drop an already-bounced push (conservative: losing
+        headroom can never over-spend stock)."""
+        accel = self.accel
+        item = msg.payload["item"]
+        amount = msg.payload["amount"]
+        if not accel.av_table.defined(item):
+            if msg.payload.get("bounced"):
+                accel.trace("rebal.drop", f"{amount:g} {item} (both ends closed)")
+                return
+            accel.endpoint.send(
+                msg.src,
+                "av.push",
+                {"item": item, "amount": amount, "sender_av": 0.0, "bounced": True},
+                tag=msg.tag,
+            )
+            return
+        accel.av_table.add(item, amount)
+        accel.beliefs.observe(
+            msg.src, item, msg.payload.get("sender_av", 0.0), accel.now
+        )
+
+    # ---------------------------------------------------------------- #
+    # lazy propagation
+    # ---------------------------------------------------------------- #
+
+    def handle_propagation(self, msg):
+        """Apply a peer's committed delta to our replica."""
+        item, delta = msg.payload["item"], msg.payload["delta"]
+        # force: replicas may transiently dip negative (see module docs).
+        self.accel.store.apply_delta(item, delta, now=self.accel.now, force=True)
+
+    def _propagate(self, item: str, delta: float) -> None:
+        """Record or push a committed delta for replica convergence.
+
+        Eager mode (``accel.propagate``) pushes to every peer at once —
+        the paper's "propagated ... at the earliest". Lazy mode
+        accumulates the delta for batched sync (one message per peer per
+        batch, sent by :meth:`Accelerator.sync_item`). Either way the
+        traffic is tagged ``prop`` because Fig. 6 counts only the
+        correspondences needed to *complete* updates.
+        """
+        accel = self.accel
+        if delta == 0:
+            return
+        if not accel.propagate:
+            accel.record_unsynced(item, delta)
+            return
+        for peer in accel.live_peers():
+            accel.endpoint.send(
+                peer, "prop.push", {"item": item, "delta": delta}, tag=TAG_PROPAGATE
+            )
+
+    # ---------------------------------------------------------------- #
+    # helpers
+    # ---------------------------------------------------------------- #
+
+    def _apply(self, item: str, delta: float) -> None:
+        """Apply a committed delta in its own (single-delta) transaction."""
+        with self.accel.txns.atomic() as txn:
+            txn.apply(item, delta, force=True)
+
+    def _done(
+        self,
+        req: UpdateRequest,
+        outcome: UpdateOutcome,
+        local: bool = False,
+        av_requests: int = 0,
+        av_obtained: float = 0.0,
+    ) -> UpdateResult:
+        return UpdateResult(
+            request=req,
+            kind=UpdateKind.DELAY,
+            outcome=outcome,
+            local_only=local,
+            finished_at=self.accel.now,
+            av_requests=av_requests,
+            av_obtained=av_obtained,
+        )

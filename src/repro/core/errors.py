@@ -1,0 +1,35 @@
+"""Exceptions raised by the AV consistency core."""
+
+from __future__ import annotations
+
+
+class CoreError(Exception):
+    """Base class for AV-core errors."""
+
+
+class AVUndefined(CoreError):
+    """An AV operation referenced an item with no AV entry.
+
+    Per the paper's checking function, items *without* an AV entry take
+    the Immediate Update path — touching their AV is a protocol bug.
+    """
+
+    def __init__(self, item: str) -> None:
+        super().__init__(f"no allowable volume defined for item {item!r}")
+        self.item = item
+
+
+class InsufficientAV(CoreError):
+    """A take exceeded the locally available allowable volume."""
+
+    def __init__(self, item: str, available: float, requested: float) -> None:
+        super().__init__(
+            f"item {item!r}: requested {requested} AV but only {available} available"
+        )
+        self.item = item
+        self.available = available
+        self.requested = requested
+
+
+class InvalidVolume(CoreError):
+    """A negative (or otherwise nonsensical) AV amount was supplied."""

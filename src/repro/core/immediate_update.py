@@ -1,0 +1,418 @@
+"""Immediate Update: primary-copy global update (paper §3.3, Fig. 5).
+
+For non-regular items (no AV entry), maker and retailer both demand
+global consistency. The requesting accelerator acts as coordinator:
+
+1. lock the item at every site and apply the operation provisionally
+   (*ready* votes);
+2. exchange commit messages; completion is judged by the
+   acknowledgement from the accelerator at the **base** site (the
+   primary copy, normally the maker).
+
+Messages for ``n`` sites: ``2(n-1)`` prepare/ready + ``2(n-1)``
+commit/ack = ``4(n-1)`` messages = ``2(n-1)`` correspondences — the
+textbook pattern the paper sketches.
+
+Deadlock note: the paper locks locally first and then "sends the lock
+request to the other accelerators simultaneously", which deadlocks (or
+livelocks, under abort-and-retry) as soon as two coordinators race on
+one item. We keep the paper's message *count* but acquire locks in
+canonical site order — the standard total-order fix: every coordinator
+requests locks along the same global order, so waits form no cycle and
+contention resolves by queuing instead of aborting. The latency cost
+(sequential lock phase) only touches non-regular items, which the
+paper's own workload excludes from the measured experiment.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from repro.core.types import (
+    TAG_IMMEDIATE,
+    UpdateKind,
+    UpdateOutcome,
+    UpdateRequest,
+    UpdateResult,
+)
+from repro.db.locks import LockMode
+from repro.db.transaction import Transaction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.accelerator import Accelerator
+
+
+class ImmediateUpdateProtocol:
+    """Coordinator and participant roles for one site."""
+
+    def __init__(self, accel: "Accelerator") -> None:
+        self.accel = accel
+        #: provisional transactions by transaction token
+        self._pending: Dict[str, tuple[Transaction, str]] = {}
+        #: coordinator decision log: token -> "commit" | "abort".
+        #: Written before any phase-2 message, consulted by restarting
+        #: participants (the 2PC termination protocol); tokens without
+        #: an entry are presumed aborted.
+        self.decisions: Dict[str, str] = {}
+        #: tokens this coordinator is still deciding on
+        self.in_progress: set = set()
+        accel.endpoint.on("imm.prepare", self.handle_prepare)
+        accel.endpoint.on("imm.commit", self.handle_commit)
+        accel.endpoint.on("imm.abort", self.handle_abort)
+        accel.endpoint.on("imm.status", self.handle_status)
+        accel.endpoint.on("imm.snapshot", self.handle_snapshot)
+        #: diagnostics
+        self.coordinated = 0
+        self.retries = 0  # kept for observability; canonical order
+        #                   resolves contention by queuing, not retrying
+
+    # ---------------------------------------------------------------- #
+    # coordinator
+    # ---------------------------------------------------------------- #
+
+    def execute(self, req: UpdateRequest):
+        """Generator driving one Immediate Update as coordinator."""
+        accel = self.accel
+        item, delta = req.item, req.delta
+        token = f"imm:{req.request_id}:{req.site}"
+        self.coordinated += 1
+        # Visible to handle_status: "no decision YET" is answered as
+        # "pending" (the participant must keep waiting), never as a
+        # premature presumed-abort.
+        self.in_progress.add(token)
+
+        order = sorted([accel.site, *accel.live_peers()])
+        prepared_peers: list[str] = []
+        holds_local = False
+        ready = True
+
+        # Phase 1: lock + provisional apply in canonical site order. A
+        # prepare that times out (crashed participant, fault-aware mode)
+        # counts as a no vote.
+        from repro.net.endpoint import RequestTimeout
+
+        for site in order:
+            if site == accel.site:
+                yield accel.locks.acquire(item, token, LockMode.EXCLUSIVE)
+                holds_local = True
+                if accel.store.value(item) + delta < 0:
+                    ready = False
+                    break
+            else:
+                try:
+                    reply = yield accel.endpoint.request(
+                        site,
+                        "imm.prepare",
+                        {"item": item, "delta": delta, "token": token},
+                        tag=TAG_IMMEDIATE,
+                        timeout=accel.request_timeout,
+                    )
+                except RequestTimeout:
+                    accel.trace("imm.unreachable", f"{site} ({token})")
+                    ready = False
+                    break
+                if not reply["ready"]:
+                    ready = False
+                    break
+                prepared_peers.append(site)
+
+        if not ready:
+            # Phase 2a: roll back everyone already prepared. The
+            # decision is logged first so a prepared-but-unreachable
+            # participant resolves to abort via the status query.
+            self.decisions[token] = "abort"
+            self.in_progress.discard(token)
+            accel.trace("imm.abort", str(req))
+            if accel.request_timeout is None:
+                acks = [
+                    accel.endpoint.request(
+                        peer, "imm.abort", {"token": token}, tag=TAG_IMMEDIATE
+                    )
+                    for peer in prepared_peers
+                ]
+                yield accel.env.all_of(acks)
+            else:
+                deliveries = [
+                    accel.env.process(
+                        self._deliver_decision(peer, "imm.abort", token),
+                        name=f"{accel.site}.abort->{peer}",
+                    )
+                    for peer in prepared_peers
+                ]
+                yield accel.env.all_of(deliveries)
+            if holds_local:
+                accel.locks.release(item, token)
+            return UpdateResult(
+                request=req,
+                kind=UpdateKind.IMMEDIATE,
+                outcome=UpdateOutcome.ABORTED,
+                finished_at=accel.now,
+            )
+
+        # Phase 2b: decide, apply locally, then commit everywhere
+        # simultaneously. The decision is logged before any message so a
+        # restarting participant can learn the outcome.
+        self.decisions[token] = "commit"
+        self.in_progress.discard(token)
+        with accel.txns.atomic() as txn:
+            txn.apply(item, delta)
+        if accel.request_timeout is None:
+            acks = [
+                accel.endpoint.request(
+                    peer, "imm.commit", {"token": token}, tag=TAG_IMMEDIATE
+                )
+                for peer in prepared_peers
+            ]
+            results = yield accel.env.all_of(acks)
+            # Paper: completion is judged by the base accelerator's message.
+            base = accel.base_site
+            if base != accel.site and base in prepared_peers:
+                base_ack = results[acks[prepared_peers.index(base)]]
+                if not base_ack.get("done", False):  # pragma: no cover
+                    raise RuntimeError(
+                        f"base site {base} failed to confirm {req}"
+                    )
+        else:
+            # Fault-aware mode: bounded resend per peer; a peer that
+            # stays unreachable resolves later via the status query.
+            deliveries = [
+                accel.env.process(
+                    self._deliver_decision(peer, "imm.commit", token),
+                    name=f"{accel.site}.commit->{peer}",
+                )
+                for peer in prepared_peers
+            ]
+            yield accel.env.all_of(deliveries)
+        accel.locks.release(item, token)
+        accel.trace("imm.commit", str(req))
+        return UpdateResult(
+            request=req,
+            kind=UpdateKind.IMMEDIATE,
+            outcome=UpdateOutcome.COMMITTED,
+            finished_at=accel.now,
+        )
+
+    def _deliver_decision(self, peer: str, kind: str, token: str):
+        """Resend ``kind`` to ``peer`` until acked or retries exhausted.
+
+        The handler is idempotent, so at-least-once delivery is safe; a
+        peer that never answers is left to the termination protocol
+        (its restart queries :meth:`handle_status`).
+        """
+        from repro.net.endpoint import CrashedEndpointError, RequestTimeout
+
+        accel = self.accel
+        for _attempt in range(accel.max_immediate_retries):
+            try:
+                reply = yield accel.endpoint.request(
+                    peer,
+                    kind,
+                    {"token": token},
+                    tag=TAG_IMMEDIATE,
+                    timeout=accel.request_timeout,
+                )
+            except RequestTimeout:
+                self.retries += 1
+                continue
+            except CrashedEndpointError:
+                # We crashed mid-resend. The decision log survives; the
+                # participant resolves via the status query instead.
+                return None
+            return reply
+        accel.trace("imm.undelivered", f"{kind} to {peer} ({token})")
+        return None
+
+    # ---------------------------------------------------------------- #
+    # participant
+    # ---------------------------------------------------------------- #
+
+    def handle_prepare(self, msg):
+        """Wait for the item lock, apply provisionally, vote."""
+        accel = self.accel
+        item = msg.payload["item"]
+        delta = msg.payload["delta"]
+        token = msg.payload["token"]
+
+        yield accel.locks.acquire(item, token, LockMode.EXCLUSIVE)
+        if accel.store.value(item) + delta < 0:
+            accel.locks.release(item, token)
+            return {"ready": False, "reason": "negative"}
+        txn = accel.txns.begin()
+        txn.apply(item, delta)
+        self._pending[token] = (txn, item)
+        if accel.request_timeout is not None:
+            # Participant-side termination timer: if neither commit nor
+            # abort arrives, learn the outcome from the coordinator.
+            accel.env.process(
+                self._watchdog(token), name=f"{accel.site}.watchdog({token})"
+            )
+        return {"ready": True}
+
+    def _watchdog(self, token: str):
+        accel = self.accel
+        yield accel.env.timeout(accel.request_timeout * 4)
+        if token in self._pending and not accel.endpoint.crashed:
+            accel.trace("imm.watchdog", token)
+            yield from self._resolve(token)
+
+    def handle_commit(self, msg):
+        """Commit the provisional txn. Idempotent: a resend after the
+        token was already resolved (or after restart resolution) acks."""
+        token = msg.payload["token"]
+        entry = self._pending.pop(token, None)
+        if entry is not None:
+            txn, item = entry
+            txn.commit()
+            self.accel.locks.release(item, token)
+        return {"done": True, "site": self.accel.site}
+
+    def handle_abort(self, msg):
+        token = msg.payload["token"]
+        entry = self._pending.pop(token, None)
+        if entry is not None:
+            txn, item = entry
+            txn.abort()
+            self.accel.locks.release(item, token)
+        return {"done": True, "site": self.accel.site}
+
+    def handle_status(self, msg):
+        """Termination protocol: report this coordinator's decision.
+
+        Three answers: a logged decision; ``"pending"`` while the
+        coordinator is still deciding (the participant re-asks later —
+        never a premature presumed-abort); and ``"abort"`` for unknown
+        tokens (the coordinator never reached a decision before dying,
+        and its own cleanup treats them the same way).
+        """
+        token = msg.payload["token"]
+        decided = self.decisions.get(token)
+        if decided is not None:
+            return {"decision": decided}
+        if token in self.in_progress:
+            return {"decision": "pending"}
+        return {"decision": "abort"}
+
+    def handle_snapshot(self, msg):
+        """Serve the current values of all non-regular items.
+
+        Used by a restarting peer to catch up on Immediate Updates it
+        missed while crashed (live-membership updates commit without
+        it; the paper's base re-delivers data, §3.2). Items with an
+        unresolved provisional transaction here are withheld — our
+        value for them is not authoritative until the termination
+        protocol resolves them (the puller keeps its own recovered
+        value; the next Immediate Update on the item re-syncs everyone).
+        """
+        accel = self.accel
+        in_doubt = {item for _txn, item in self._pending.values()}
+        values = {}
+        withheld = []
+        for item, value in accel.store.items():
+            if accel.av_table.defined(item):
+                continue
+            if item in in_doubt:
+                withheld.append(item)
+            else:
+                values[item] = value
+        return {"values": values, "withheld": withheld}
+
+    def catch_up(self, max_pulls: int = 10):
+        """Generator: pull missed non-regular state from the base.
+
+        Prefers the base site (the primary copy); falls back to any
+        live peer. A source withholds items with an unresolved
+        provisional transaction — a withheld value will soon change, so
+        installing it would freeze a superseded state here. We re-pull
+        until every item has been served (or the retry budget runs
+        out); an update that was mid-2PC when we rejoined resolves
+        within a bounded number of retries.
+        """
+        from repro.net.endpoint import RequestTimeout
+
+        accel = self.accel
+        missing = {
+            item for item, _v in accel.store.items()
+            if not accel.av_table.defined(item)
+        }
+        applied = 0
+        for _pull in range(max_pulls):
+            if not missing:
+                break
+            base = accel.base_site
+            candidates = [base] if base != accel.site else []
+            candidates += [p for p in accel.live_peers() if p != base]
+            reply = None
+            for source in candidates:
+                if accel.endpoint.network.faults.is_crashed(source):
+                    continue
+                try:
+                    reply = yield accel.endpoint.request(
+                        source,
+                        "imm.snapshot",
+                        None,
+                        tag=TAG_IMMEDIATE,
+                        timeout=accel.request_timeout,
+                    )
+                except RequestTimeout:
+                    continue
+                break
+            if reply is None:
+                return applied  # nobody reachable; stay stale for now
+            for item, value in reply["values"].items():
+                if item in missing and not accel.av_table.defined(item):
+                    accel.store.set_value(item, value, now=accel.now)
+                    missing.discard(item)
+                    applied += 1
+            if missing:
+                yield accel.env.timeout(accel.request_timeout or 1.0)
+        accel.trace("imm.catchup", f"{applied} items, {len(missing)} unresolved")
+        return applied
+
+    # ---------------------------------------------------------------- #
+    # restart resolution (called by Site.restart)
+    # ---------------------------------------------------------------- #
+
+    def resolve_pending(self) -> list:
+        """Spawn a resolution process per in-doubt provisional txn.
+
+        Each process queries the token's coordinator until it answers,
+        then commits or aborts accordingly. Returns the processes.
+        """
+        return [
+            self.accel.env.process(
+                self._resolve(token), name=f"{self.accel.site}.resolve({token})"
+            )
+            for token in list(self._pending)
+        ]
+
+    def _resolve(self, token: str):
+        from repro.net.endpoint import RequestTimeout
+
+        accel = self.accel
+        coordinator = token.split(":")[2]
+        while True:
+            try:
+                reply = yield accel.endpoint.request(
+                    coordinator,
+                    "imm.status",
+                    {"token": token},
+                    tag=TAG_IMMEDIATE,
+                    timeout=accel.request_timeout,
+                )
+            except RequestTimeout:
+                continue  # coordinator still down: classic 2PC blocking
+            if reply["decision"] == "pending":
+                # Coordinator alive but undecided: keep waiting.
+                yield accel.env.timeout(accel.request_timeout or 1.0)
+                continue
+            entry = self._pending.pop(token, None)
+            if entry is None:
+                return reply["decision"]  # resolved concurrently by resend
+            txn, item = entry
+            if reply["decision"] == "commit":
+                txn.commit()
+            else:
+                txn.abort()
+            accel.locks.release(item, token)
+            accel.trace("imm.resolved", f"{token} -> {reply['decision']}")
+            return reply["decision"]

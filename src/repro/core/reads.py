@@ -1,0 +1,121 @@
+"""Read operations with explicit consistency levels.
+
+The paper is update-centric, but any database front-end needs reads.
+Three levels, matching the system's consistency spectrum:
+
+* ``LOCAL`` — the site's replica value, instantly, zero messages. For a
+  regular item this may lag ground truth by exactly the deltas peers
+  have not propagated yet (the price of the Delay path).
+* ``RECONCILED`` — one round of requests collecting, from every live
+  peer, the balance it owes us; the reply sum added to the local replica
+  reproduces the ground-truth value without mutating anything.
+  ``2(n-1)`` messages, read-only, no locks. Exact in lazy-propagation
+  mode (owed balances are complete); under eager propagation it can lag
+  by at most the deltas whose pushes are in flight (≤ one network
+  latency old).
+* ``LOCKED`` — a reconciled read taken under the item's local lock, so
+  it also serialises against Immediate Updates this site coordinates or
+  participates in.
+
+For non-regular items every level returns the same (globally
+consistent) replica value; LOCAL suffices.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.db.locks import LockMode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.accelerator import Accelerator
+
+#: message tag for reconciled-read traffic
+TAG_READ = "read"
+
+
+class ReadConsistency(enum.Enum):
+    LOCAL = "local"
+    RECONCILED = "reconciled"
+    LOCKED = "locked"
+
+
+@dataclass(frozen=True, slots=True)
+class ReadResult:
+    """Outcome of a read."""
+
+    item: str
+    value: float
+    consistency: ReadConsistency
+    #: peers that contributed (reconciled/locked reads only)
+    peers_asked: int = 0
+    finished_at: float = 0.0
+
+
+class ReadProtocol:
+    """Read-side message handling for one site."""
+
+    def __init__(self, accel: "Accelerator") -> None:
+        self.accel = accel
+        accel.endpoint.on("read.owed", self.handle_owed)
+        #: reads served for peers (diagnostic)
+        self.served = 0
+
+    # ---------------------------------------------------------------- #
+    # requester side
+    # ---------------------------------------------------------------- #
+
+    def execute(self, item: str, consistency: ReadConsistency):
+        """Generator resolving one read at the requested level."""
+        accel = self.accel
+
+        if (
+            consistency is ReadConsistency.LOCAL
+            or not accel.av_table.defined(item)
+        ):
+            return ReadResult(
+                item=item,
+                value=accel.store.value(item),
+                consistency=consistency,
+                finished_at=accel.now,
+            )
+
+        token = f"read:{accel.site}:{item}:{next(accel._req_ids)}"
+        locked = consistency is ReadConsistency.LOCKED
+        if locked:
+            yield accel.locks.acquire(item, token, LockMode.EXCLUSIVE)
+        try:
+            peers = accel.live_peers()
+            replies = yield accel.env.all_of(
+                [
+                    accel.endpoint.request(
+                        peer, "read.owed", {"item": item}, tag=TAG_READ
+                    )
+                    for peer in peers
+                ]
+            )
+            missing = sum(r["owed"] for r in replies.values())
+            value = accel.store.value(item) + missing
+        finally:
+            if locked:
+                accel.locks.release(item, token)
+        return ReadResult(
+            item=item,
+            value=value,
+            consistency=consistency,
+            peers_asked=len(peers),
+            finished_at=accel.now,
+        )
+
+    # ---------------------------------------------------------------- #
+    # responder side
+    # ---------------------------------------------------------------- #
+
+    def handle_owed(self, msg):
+        """Report (without clearing!) the balance we owe the requester."""
+        self.served += 1
+        return {
+            "owed": self.accel.owed_to(msg.src, msg.payload["item"]),
+        }

@@ -1,0 +1,88 @@
+"""Shared value types for the AV consistency core."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Optional
+
+#: message-tag constants used for correspondence accounting
+TAG_AV = "av"            #: AV transfer traffic (Delay Update coordination)
+TAG_IMMEDIATE = "imm"    #: Immediate Update (primary-copy 2PC) traffic
+TAG_PROPAGATE = "prop"   #: asynchronous replica propagation
+TAG_CENTRAL = "central"  #: conventional centralized baseline traffic
+
+#: tags that constitute "correspondences for update" in the paper's sense:
+#: messages required to *complete* an update (Fig. 6 counts these).
+UPDATE_TAGS = (TAG_AV, TAG_IMMEDIATE, TAG_CENTRAL)
+
+
+class UpdateKind(enum.Enum):
+    """How an update must be applied (the checking function's verdict)."""
+
+    DELAY = "delay"          #: AV-gated local update, lazy propagation
+    IMMEDIATE = "immediate"  #: primary-copy global update
+
+
+class UpdateOutcome(enum.Enum):
+    """Terminal state of one update request."""
+
+    COMMITTED = "committed"
+    #: Delay Update could not gather enough AV (globally exhausted or
+    #: unreachable); the business-level meaning is "cannot ship".
+    REJECTED = "rejected"
+    #: Immediate Update aborted (a participant voted no).
+    ABORTED = "aborted"
+    #: the originating site failed mid-protocol
+    FAILED = "failed"
+
+
+_request_ids = count(1)
+
+
+@dataclass(slots=True)
+class UpdateRequest:
+    """A user's request to change an item's stock by ``delta`` at ``site``."""
+
+    site: str
+    item: str
+    delta: float
+    issued_at: float = 0.0
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    def __str__(self) -> str:
+        return f"upd#{self.request_id} {self.item}{self.delta:+} @{self.site}"
+
+
+@dataclass(slots=True)
+class UpdateResult:
+    """Everything the harness wants to know about a finished update."""
+
+    request: UpdateRequest
+    kind: UpdateKind
+    outcome: UpdateOutcome
+    #: completed without any network traffic (the paper's headline event)
+    local_only: bool = False
+    #: simulation time the update finished
+    finished_at: float = 0.0
+    #: number of AV-transfer requests issued while gathering volume
+    av_requests: int = 0
+    #: AV volume obtained from peers for this update
+    av_obtained: float = 0.0
+
+    @property
+    def latency(self) -> float:
+        """Simulated time from issue to completion."""
+        return self.finished_at - self.request.issued_at
+
+    @property
+    def committed(self) -> bool:
+        return self.outcome is UpdateOutcome.COMMITTED
+
+    def __str__(self) -> str:
+        mark = "local" if self.local_only else f"{self.av_requests} av-req"
+        return (
+            f"{self.request} -> {self.outcome.value}"
+            f" [{self.kind.value}, {mark}, t={self.finished_at:g}]"
+        )

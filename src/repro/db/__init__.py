@@ -1,0 +1,55 @@
+"""Per-site transactional store: records, locks, WAL, transactions, recovery."""
+
+from repro.db.errors import (
+    DatabaseError,
+    DuplicateItem,
+    LockError,
+    LockUpgradeError,
+    NegativeValue,
+    TransactionAborted,
+    TransactionClosed,
+    TransactionError,
+    UnknownItem,
+)
+from repro.db.locks import LockManager, LockMode
+from repro.db.record import Record
+from repro.db.recovery import RecoveryReport, recover
+from repro.db.snapshot import (
+    Snapshot,
+    diff_stores,
+    restore_snapshot,
+    stores_equal,
+    take_snapshot,
+)
+from repro.db.storage import Store
+from repro.db.transaction import Transaction, TransactionManager, TxnState
+from repro.db.wal import WalEntry, WalOp, WriteAheadLog
+
+__all__ = [
+    "DatabaseError",
+    "DuplicateItem",
+    "LockError",
+    "LockManager",
+    "LockMode",
+    "LockUpgradeError",
+    "NegativeValue",
+    "Record",
+    "RecoveryReport",
+    "Snapshot",
+    "Store",
+    "Transaction",
+    "TransactionAborted",
+    "TransactionClosed",
+    "TransactionError",
+    "TransactionManager",
+    "TxnState",
+    "UnknownItem",
+    "WalEntry",
+    "WalOp",
+    "WriteAheadLog",
+    "diff_stores",
+    "recover",
+    "restore_snapshot",
+    "stores_equal",
+    "take_snapshot",
+]

@@ -1,0 +1,51 @@
+"""Exceptions raised by the local database engine."""
+
+from __future__ import annotations
+
+
+class DatabaseError(Exception):
+    """Base class for database-engine errors."""
+
+
+class UnknownItem(DatabaseError, KeyError):
+    """An operation referenced an item id not present in the store."""
+
+    def __init__(self, item: str) -> None:
+        super().__init__(f"unknown item {item!r}")
+        self.item = item
+
+
+class DuplicateItem(DatabaseError):
+    """Inserting an item id that already exists."""
+
+
+class NegativeValue(DatabaseError):
+    """An update would take a stock value below zero."""
+
+    def __init__(self, item: str, value: float, delta: float) -> None:
+        super().__init__(
+            f"delta {delta:+} on item {item!r} with value {value} would go negative"
+        )
+        self.item = item
+        self.value = value
+        self.delta = delta
+
+
+class TransactionError(DatabaseError):
+    """Base class for transaction lifecycle errors."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was rolled back."""
+
+
+class TransactionClosed(TransactionError):
+    """An operation was attempted on a committed/aborted transaction."""
+
+
+class LockError(DatabaseError):
+    """Base class for lock-manager errors."""
+
+
+class LockUpgradeError(LockError):
+    """A shared→exclusive upgrade was requested while other holders exist."""

@@ -1,0 +1,163 @@
+"""Lock manager: per-item shared/exclusive locks with FIFO queuing.
+
+The Immediate Update protocol (primary-copy scheme, paper §3.3) locks the
+item at every site before applying. Lock waits integrate with the
+simulation kernel: :meth:`LockManager.acquire` returns an event that
+succeeds when the lock is granted, so protocol processes simply ``yield``
+it.
+
+Fairness: requests queue FIFO; a grant wave admits the longest-waiting
+request plus any immediately following compatible ones (no starvation, no
+barging).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional
+
+from repro.db.errors import LockError, LockUpgradeError
+from repro.sim.engine import Environment
+from repro.sim.events import Event
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+    def compatible(self, other: "LockMode") -> bool:
+        return self is LockMode.SHARED and other is LockMode.SHARED
+
+
+@dataclass(slots=True)
+class _Waiter:
+    owner: str
+    mode: LockMode
+    event: Event
+
+
+class _ItemLock:
+    """Lock state for a single item."""
+
+    __slots__ = ("holders", "queue")
+
+    def __init__(self) -> None:
+        #: current holders: owner -> mode
+        self.holders: Dict[str, LockMode] = {}
+        self.queue: Deque[_Waiter] = deque()
+
+    def mode(self) -> Optional[LockMode]:
+        if not self.holders:
+            return None
+        if any(m is LockMode.EXCLUSIVE for m in self.holders.values()):
+            return LockMode.EXCLUSIVE
+        return LockMode.SHARED
+
+
+class LockManager:
+    """Per-item S/X locks for one site's store."""
+
+    def __init__(self, env: Environment, name: str = "locks") -> None:
+        self.env = env
+        self.name = name
+        self._locks: Dict[str, _ItemLock] = {}
+        #: grants performed (diagnostic)
+        self.grants = 0
+        #: maximum simultaneous waiters observed (diagnostic)
+        self.max_queue = 0
+
+    def _lock(self, item: str) -> _ItemLock:
+        lock = self._locks.get(item)
+        if lock is None:
+            lock = _ItemLock()
+            self._locks[item] = lock
+        return lock
+
+    # ---------------------------------------------------------------- #
+    # public API
+    # ---------------------------------------------------------------- #
+
+    def acquire(self, item: str, owner: str, mode: LockMode = LockMode.EXCLUSIVE) -> Event:
+        """Request a lock; the returned event succeeds on grant.
+
+        Re-acquiring a mode already held is granted immediately.
+        A shared→exclusive upgrade succeeds only if ``owner`` is the sole
+        holder; otherwise :class:`LockUpgradeError` is raised (the caller
+        must release and re-acquire — keeps the manager deadlock-free for
+        our protocols).
+        """
+        lock = self._lock(item)
+        event = Event(self.env)
+        held = lock.holders.get(owner)
+
+        if held is not None:
+            if held is mode or held is LockMode.EXCLUSIVE:
+                # Reentrant or downgrade-as-noop: grant immediately.
+                self.grants += 1
+                return event.succeed((item, mode))
+            # Upgrade S -> X.
+            if len(lock.holders) == 1:
+                lock.holders[owner] = LockMode.EXCLUSIVE
+                self.grants += 1
+                return event.succeed((item, mode))
+            raise LockUpgradeError(
+                f"{owner!r} cannot upgrade {item!r}: {len(lock.holders) - 1} other holder(s)"
+            )
+
+        if not lock.queue and self._grantable(lock, mode):
+            lock.holders[owner] = mode
+            self.grants += 1
+            return event.succeed((item, mode))
+
+        lock.queue.append(_Waiter(owner, mode, event))
+        self.max_queue = max(self.max_queue, len(lock.queue))
+        return event
+
+    def release(self, item: str, owner: str) -> None:
+        """Drop ``owner``'s lock on ``item`` and run the grant wave."""
+        lock = self._locks.get(item)
+        if lock is None or owner not in lock.holders:
+            raise LockError(f"{owner!r} does not hold a lock on {item!r}")
+        del lock.holders[owner]
+        self._grant_wave(item, lock)
+        if not lock.holders and not lock.queue:
+            del self._locks[item]
+
+    def holders(self, item: str) -> Dict[str, LockMode]:
+        lock = self._locks.get(item)
+        return dict(lock.holders) if lock else {}
+
+    def waiting(self, item: str) -> int:
+        lock = self._locks.get(item)
+        return len(lock.queue) if lock else 0
+
+    def is_locked(self, item: str) -> bool:
+        lock = self._locks.get(item)
+        return bool(lock and lock.holders)
+
+    # ---------------------------------------------------------------- #
+    # internals
+    # ---------------------------------------------------------------- #
+
+    @staticmethod
+    def _grantable(lock: _ItemLock, mode: LockMode) -> bool:
+        current = lock.mode()
+        if current is None:
+            return True
+        return current.compatible(mode) and mode.compatible(current)
+
+    def _grant_wave(self, item: str, lock: _ItemLock) -> None:
+        """Admit the queue head and following compatible requests."""
+        while lock.queue and self._grantable(lock, lock.queue[0].mode):
+            waiter = lock.queue.popleft()
+            lock.holders[waiter.owner] = waiter.mode
+            self.grants += 1
+            waiter.event.succeed((item, waiter.mode))
+            if waiter.mode is LockMode.EXCLUSIVE:
+                break
+
+    def __repr__(self) -> str:
+        locked = sum(1 for l in self._locks.values() if l.holders)
+        return f"<LockManager {self.name!r} locked={locked} grants={self.grants}>"

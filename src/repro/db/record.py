@@ -1,0 +1,51 @@
+"""Record: one versioned numeric datum.
+
+The paper's database is a table of ``(product, stock amount)`` rows fully
+replicated at every site. Every mutation bumps the version, which the
+propagation and recovery machinery use to reason about staleness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class Record:
+    """A mutable stock record.
+
+    Attributes
+    ----------
+    item:
+        Item (product) identifier.
+    value:
+        Current numeric amount.
+    version:
+        Monotonic per-record mutation counter.
+    updated_at:
+        Simulation time of the last mutation.
+    """
+
+    item: str
+    value: float
+    version: int = 0
+    updated_at: float = 0.0
+
+    def apply(self, delta: float, now: float = 0.0) -> float:
+        """Add ``delta`` to the value; returns the new value."""
+        self.value += delta
+        self.version += 1
+        self.updated_at = now
+        return self.value
+
+    def set(self, value: float, now: float = 0.0) -> None:
+        """Overwrite the value (used by bootstrap and replication)."""
+        self.value = value
+        self.version += 1
+        self.updated_at = now
+
+    def copy(self) -> "Record":
+        return Record(self.item, self.value, self.version, self.updated_at)
+
+    def __str__(self) -> str:
+        return f"{self.item}={self.value} (v{self.version})"

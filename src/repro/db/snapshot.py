@@ -1,0 +1,73 @@
+"""Point-in-time snapshots and store comparison utilities.
+
+Used by the bootstrap (initial delivery of all data from the base site,
+paper §3.2), by fault-injection tests (capture → crash → recover →
+compare), and by the convergence checks in the integration suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.db.storage import Store
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """Immutable capture of a store's values (not versions)."""
+
+    name: str
+    taken_at: float
+    values: Dict[str, float]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, item: str) -> float:
+        return self.values[item]
+
+    def __contains__(self, item: str) -> bool:
+        return item in self.values
+
+
+def take_snapshot(store: Store, now: float = 0.0) -> Snapshot:
+    """Capture current values of ``store``."""
+    return Snapshot(name=store.name, taken_at=now, values=store.as_dict())
+
+
+def restore_snapshot(store: Store, snapshot: Snapshot, now: float = 0.0) -> None:
+    """Overwrite ``store`` values from ``snapshot``; item sets must match."""
+    store_items = set(store.item_ids())
+    snap_items = set(snapshot.values)
+    if store_items != snap_items:
+        missing = snap_items - store_items
+        extra = store_items - snap_items
+        raise ValueError(
+            f"item mismatch restoring {snapshot.name!r} into {store.name!r}:"
+            f" missing={sorted(missing)} extra={sorted(extra)}"
+        )
+    for item, value in snapshot.values.items():
+        store.set_value(item, value, now=now)
+
+
+def diff_stores(a: Store, b: Store) -> Dict[str, tuple[float, float]]:
+    """Items whose values differ between two stores: ``{item: (a, b)}``.
+
+    Items present in only one store appear with ``float('nan')`` on the
+    missing side.
+    """
+    nan = float("nan")
+    out: Dict[str, tuple[float, float]] = {}
+    items = set(a.item_ids()) | set(b.item_ids())
+    for item in sorted(items):
+        va = a.value(item) if item in a else nan
+        vb = b.value(item) if item in b else nan
+        if not (va == vb):  # NaN-safe inequality
+            out[item] = (va, vb)
+    return out
+
+
+def stores_equal(a: Store, b: Store) -> bool:
+    """``True`` when both stores hold identical item/value sets."""
+    return not diff_stores(a, b)

@@ -1,0 +1,157 @@
+"""Transactions with compensation-based rollback.
+
+A :class:`Transaction` groups deltas against one site's store. Abort
+applies the *opposite* deltas in reverse order (paper §3.3: "the recovery
+of operation can be done by updating with opposite of update volume").
+Because compensation commutes with concurrent deltas on the same numeric
+records, Delay Updates need no long-held exclusive locks — the property
+the paper leans on to keep AV usable by concurrent transactions.
+"""
+
+from __future__ import annotations
+
+import enum
+from itertools import count
+from typing import Callable, Optional
+
+from repro.db.errors import TransactionClosed
+from repro.db.storage import Store
+from repro.db.wal import WriteAheadLog
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """One unit of work against a :class:`~repro.db.storage.Store`.
+
+    Not created directly — use :meth:`TransactionManager.begin` or the
+    manager's context-manager helper :meth:`TransactionManager.atomic`.
+    """
+
+    def __init__(
+        self,
+        txn_id: int,
+        store: Store,
+        wal: WriteAheadLog,
+        clock: Callable[[], float],
+        on_finish: Optional[Callable[["Transaction"], None]] = None,
+    ) -> None:
+        self.txn_id = txn_id
+        self.store = store
+        self.wal = wal
+        self._clock = clock
+        self._on_finish = on_finish
+        self.state = TxnState.ACTIVE
+        #: (item, delta) pairs applied so far, in order
+        self.deltas: list[tuple[str, float]] = []
+        wal.log_begin(txn_id)
+
+    def _check_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionClosed(
+                f"txn {self.txn_id} is {self.state.value}, not active"
+            )
+
+    def apply(self, item: str, delta: float, force: bool = False) -> float:
+        """Apply a delta through the transaction; returns the new value.
+
+        See :meth:`repro.db.storage.Store.apply_delta` for ``force``.
+        """
+        self._check_active()
+        # WAL first (write-ahead), then the store mutation.
+        self.wal.log_delta(self.txn_id, item, delta)
+        value = self.store.apply_delta(item, delta, now=self._clock(), force=force)
+        self.deltas.append((item, delta))
+        return value
+
+    def read(self, item: str) -> float:
+        self._check_active()
+        return self.store.value(item)
+
+    def commit(self) -> None:
+        self._check_active()
+        self.wal.log_commit(self.txn_id)
+        self.state = TxnState.COMMITTED
+        if self._on_finish is not None:
+            self._on_finish(self)
+
+    def abort(self) -> None:
+        """Compensate every applied delta, newest first."""
+        self._check_active()
+        for item, delta in reversed(self.deltas):
+            self.wal.log_delta(self.txn_id, item, -delta)
+            # Compensation must always succeed: it restores committed
+            # state, so the negativity guard does not apply.
+            self.store.apply_delta(item, -delta, now=self._clock(), force=True)
+        self.wal.log_abort(self.txn_id)
+        self.state = TxnState.ABORTED
+        if self._on_finish is not None:
+            self._on_finish(self)
+
+    def __repr__(self) -> str:
+        return f"<Transaction {self.txn_id} {self.state.value} deltas={len(self.deltas)}>"
+
+
+class TransactionManager:
+    """Creates transactions for one site."""
+
+    def __init__(
+        self,
+        store: Store,
+        wal: Optional[WriteAheadLog] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.store = store
+        self.wal = wal if wal is not None else WriteAheadLog(f"{store.name}.wal")
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self._ids = count(1)
+        self.begun = 0
+        self.committed = 0
+        self.aborted = 0
+
+    def begin(self) -> Transaction:
+        self.begun += 1
+        return Transaction(
+            next(self._ids), self.store, self.wal, self._clock, self._finished
+        )
+
+    def atomic(self) -> "_Atomic":
+        """``with tm.atomic() as txn:`` — commits on success, aborts on error."""
+        return _Atomic(self)
+
+    def _finished(self, txn: Transaction) -> None:
+        if txn.state is TxnState.COMMITTED:
+            self.committed += 1
+        elif txn.state is TxnState.ABORTED:
+            self.aborted += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"<TransactionManager store={self.store.name!r}"
+            f" begun={self.begun} committed={self.committed} aborted={self.aborted}>"
+        )
+
+
+class _Atomic:
+    """Context manager wrapping begin/commit/abort."""
+
+    def __init__(self, manager: TransactionManager) -> None:
+        self.manager = manager
+        self.txn: Optional[Transaction] = None
+
+    def __enter__(self) -> Transaction:
+        self.txn = self.manager.begin()
+        return self.txn
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        assert self.txn is not None
+        if self.txn.state is TxnState.ACTIVE:
+            if exc_type is None:
+                self.txn.commit()
+            else:
+                self.txn.abort()
+        return False  # propagate exceptions

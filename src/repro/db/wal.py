@@ -1,0 +1,106 @@
+"""Write-ahead log with compensation entries.
+
+The paper rolls back a Delay Update "by updating with [the] opposite of
+[the] update volume" — i.e. *compensation*, not before-image restore. The
+WAL therefore records deltas. Each transaction writes BEGIN, one entry per
+delta, then COMMIT or ABORT; recovery compensates any transaction without
+a terminal record.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+
+class WalOp(enum.Enum):
+    BEGIN = "begin"
+    DELTA = "delta"
+    COMMIT = "commit"
+    ABORT = "abort"
+
+
+@dataclass(frozen=True, slots=True)
+class WalEntry:
+    """One log record.
+
+    ``lsn`` (log sequence number) is assigned by the log; ``item`` and
+    ``delta`` are only meaningful for :attr:`WalOp.DELTA` entries.
+    """
+
+    lsn: int
+    op: WalOp
+    txn_id: int
+    item: Optional[str] = None
+    delta: float = 0.0
+
+    def __str__(self) -> str:
+        core = f"#{self.lsn} {self.op.value} txn={self.txn_id}"
+        if self.op is WalOp.DELTA:
+            core += f" {self.item}{self.delta:+}"
+        return core
+
+
+class WriteAheadLog:
+    """Append-only in-memory log for one site."""
+
+    def __init__(self, name: str = "wal") -> None:
+        self.name = name
+        self._entries: list[WalEntry] = []
+        self._next_lsn = 1
+
+    def _append(self, op: WalOp, txn_id: int, item: Optional[str] = None, delta: float = 0.0) -> WalEntry:
+        entry = WalEntry(self._next_lsn, op, txn_id, item, delta)
+        self._next_lsn += 1
+        self._entries.append(entry)
+        return entry
+
+    def log_begin(self, txn_id: int) -> WalEntry:
+        return self._append(WalOp.BEGIN, txn_id)
+
+    def log_delta(self, txn_id: int, item: str, delta: float) -> WalEntry:
+        return self._append(WalOp.DELTA, txn_id, item, delta)
+
+    def log_commit(self, txn_id: int) -> WalEntry:
+        return self._append(WalOp.COMMIT, txn_id)
+
+    def log_abort(self, txn_id: int) -> WalEntry:
+        return self._append(WalOp.ABORT, txn_id)
+
+    # ---------------------------------------------------------------- #
+    # reading
+    # ---------------------------------------------------------------- #
+
+    def __iter__(self) -> Iterator[WalEntry]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries_for(self, txn_id: int) -> list[WalEntry]:
+        return [e for e in self._entries if e.txn_id == txn_id]
+
+    def in_flight(self) -> set[int]:
+        """Transaction ids with a BEGIN but no COMMIT/ABORT record."""
+        open_txns: set[int] = set()
+        for entry in self._entries:
+            if entry.op is WalOp.BEGIN:
+                open_txns.add(entry.txn_id)
+            elif entry.op in (WalOp.COMMIT, WalOp.ABORT):
+                open_txns.discard(entry.txn_id)
+        return open_txns
+
+    def truncate(self) -> int:
+        """Drop records of finished transactions; returns entries removed.
+
+        Keeps every record belonging to an in-flight transaction (they are
+        still needed for recovery), preserving order.
+        """
+        alive = self.in_flight()
+        before = len(self._entries)
+        self._entries = [e for e in self._entries if e.txn_id in alive]
+        return before - len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"<WriteAheadLog {self.name!r} entries={len(self._entries)}>"

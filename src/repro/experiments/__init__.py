@@ -1,0 +1,68 @@
+"""Experiment harness: paper figures/tables, sweeps, ablations, faults."""
+
+from repro.experiments.ablations import (
+    ABLATION_HEADERS,
+    ablate_escrow,
+    ablate_grant_policy,
+    ablate_selection_strategy,
+    ablate_stale_beliefs,
+    ablate_update_mix,
+)
+from repro.experiments.faults import (
+    FAULT_HEADERS,
+    FaultResult,
+    run_fault_experiment,
+    run_partition_experiment,
+)
+from repro.experiments.fig6 import Fig6Result, make_paper_trace, run_fig6
+from repro.experiments.latency_exp import (
+    LATENCY_HEADERS,
+    LatencyResult,
+    run_latency_experiment,
+)
+from repro.experiments.runner import (
+    Checkpoint,
+    CountedRun,
+    checkpoint_schedule,
+    run_counted,
+)
+from repro.experiments.sweep import (
+    SWEEP_HEADERS,
+    SweepPoint,
+    sweep_av_fraction,
+    sweep_items,
+    sweep_rows,
+    sweep_scale,
+)
+from repro.experiments.table1 import Table1Result, run_table1
+
+__all__ = [
+    "ABLATION_HEADERS",
+    "Checkpoint",
+    "CountedRun",
+    "FAULT_HEADERS",
+    "FaultResult",
+    "Fig6Result",
+    "LATENCY_HEADERS",
+    "LatencyResult",
+    "SWEEP_HEADERS",
+    "SweepPoint",
+    "Table1Result",
+    "ablate_escrow",
+    "ablate_grant_policy",
+    "ablate_selection_strategy",
+    "ablate_stale_beliefs",
+    "ablate_update_mix",
+    "checkpoint_schedule",
+    "make_paper_trace",
+    "run_counted",
+    "run_fault_experiment",
+    "run_partition_experiment",
+    "run_fig6",
+    "run_latency_experiment",
+    "run_table1",
+    "sweep_av_fraction",
+    "sweep_items",
+    "sweep_rows",
+    "sweep_scale",
+]

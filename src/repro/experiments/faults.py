@@ -1,0 +1,200 @@
+"""Fault-tolerance experiment (the paper's availability claim).
+
+The paper argues the autonomous approach is fault-tolerant because "the
+data can be updated autonomously at the local site within it without any
+communication". We test exactly that: crash the maker mid-run (or
+partition it away) and measure retailer availability inside and outside
+the fault window, for the proposal *and* the centralized baseline —
+where the server's crash stops every site cold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.baselines.centralized import CENTER, CentralizedSystem
+from repro.cluster import DistributedSystem, paper_config
+from repro.metrics.availability import AvailabilityTracker
+from repro.workload.driver import run_open, split_by_site
+
+from repro.experiments.fig6 import make_paper_trace
+
+
+@dataclass
+class FaultResult:
+    """Availability per (system, site, window)."""
+
+    #: {system_label: {site: (avail_normal, avail_during_fault)}}
+    availability: Dict[str, Dict[str, tuple]]
+    fault_start: float
+    fault_end: float
+
+    def retailer_availability_during_fault(self, label: str, retailers) -> float:
+        cells = [self.availability[label][r][1] for r in retailers]
+        return sum(cells) / len(cells) if cells else 1.0
+
+    def rows(self) -> List[List]:
+        out = []
+        for label, sites in self.availability.items():
+            for site, (normal, fault) in sorted(sites.items()):
+                out.append([label, site, round(normal, 3), round(fault, 3)])
+        return out
+
+
+FAULT_HEADERS = ["system", "site", "normal", "during fault"]
+
+
+def run_fault_experiment(
+    n_updates: int = 900,
+    n_items: int = 10,
+    seed: int = 0,
+    interarrival: float = 5.0,
+    fault_start: float = 400.0,
+    fault_end: float = 900.0,
+    crash_site: Optional[str] = None,
+) -> FaultResult:
+    """Crash the maker (proposal) / the server (centralized) mid-run.
+
+    Both systems see the same per-site arrival streams; AV requests use a
+    timeout so retailers that ask a dead maker recover (the ask may still
+    be rejected — that shows up as lost availability, honestly counted).
+    """
+    config = paper_config(
+        n_items=n_items,
+        seed=seed,
+        request_timeout=10.0,
+    )
+    crash_site = crash_site or config.maker
+    trace = make_paper_trace(n_updates, seed, n_items=n_items)
+    per_site = split_by_site(trace)
+
+    availability: Dict[str, Dict[str, tuple]] = {}
+
+    def crasher(env, faults, victim):
+        yield env.timeout(fault_start)
+        faults.crash(victim)
+        yield env.timeout(fault_end - fault_start)
+        faults.recover(victim)
+
+    # ---------------- proposal ----------------
+    system = DistributedSystem.build(config)
+    tracker = AvailabilityTracker(fault_start, fault_end)
+    system.env.process(
+        crasher(system.env, system.network.faults, crash_site), name="crasher"
+    )
+    run_open(
+        system,
+        per_site,
+        interarrival=interarrival,
+        on_complete=lambda i, e, r: tracker.record(r),
+    )
+    availability["proposal"] = {
+        s: (tracker.availability(s, False), tracker.availability(s, True))
+        for s in config.site_names
+    }
+
+    # ---------------- centralized ----------------
+    central = CentralizedSystem(config, request_timeout=10.0)
+    tracker_c = AvailabilityTracker(fault_start, fault_end)
+    central.env.process(
+        crasher(central.env, central.network.faults, CENTER), name="crasher"
+    )
+    run_open(
+        central,
+        per_site,
+        interarrival=interarrival,
+        on_complete=lambda i, e, r: tracker_c.record(r),
+    )
+    availability["centralized"] = {
+        s: (tracker_c.availability(s, False), tracker_c.availability(s, True))
+        for s in config.site_names
+    }
+
+    return FaultResult(
+        availability=availability,
+        fault_start=fault_start,
+        fault_end=fault_end,
+    )
+
+
+def run_partition_experiment(
+    n_updates: int = 900,
+    n_items: int = 10,
+    seed: int = 0,
+    interarrival: float = 5.0,
+    fault_start: float = 400.0,
+    fault_end: float = 900.0,
+) -> FaultResult:
+    """Partition the maker away from the retailers, then heal.
+
+    The retailer group keeps its own AV economy alive: local updates
+    and retailer↔retailer transfers still work, only maker-bound
+    transfers fail. The centralized deployment partitions *every*
+    client away from the server — total outage.
+    """
+    config = paper_config(
+        n_items=n_items,
+        seed=seed,
+        request_timeout=10.0,
+    )
+    trace = make_paper_trace(n_updates, seed, n_items=n_items)
+    per_site = split_by_site(trace)
+
+    availability: Dict[str, Dict[str, tuple]] = {}
+
+    def partitioner(env, faults, groups):
+        yield env.timeout(fault_start)
+        faults.partition(groups)
+        yield env.timeout(fault_end - fault_start)
+        faults.heal()
+
+    # ---------------- proposal: maker isolated ----------------
+    system = DistributedSystem.build(config)
+    tracker = AvailabilityTracker(fault_start, fault_end)
+    system.env.process(
+        partitioner(
+            system.env,
+            system.network.faults,
+            [[config.maker], list(config.retailers)],
+        ),
+        name="partitioner",
+    )
+    run_open(
+        system,
+        per_site,
+        interarrival=interarrival,
+        on_complete=lambda i, e, r: tracker.record(r),
+    )
+    availability["proposal"] = {
+        s: (tracker.availability(s, False), tracker.availability(s, True))
+        for s in config.site_names
+    }
+
+    # ---------------- centralized: server isolated ----------------
+    central = CentralizedSystem(config, request_timeout=10.0)
+    tracker_c = AvailabilityTracker(fault_start, fault_end)
+    central.env.process(
+        partitioner(
+            central.env,
+            central.network.faults,
+            [[CENTER], list(config.site_names)],
+        ),
+        name="partitioner",
+    )
+    run_open(
+        central,
+        per_site,
+        interarrival=interarrival,
+        on_complete=lambda i, e, r: tracker_c.record(r),
+    )
+    availability["centralized"] = {
+        s: (tracker_c.availability(s, False), tracker_c.availability(s, True))
+        for s in config.site_names
+    }
+
+    return FaultResult(
+        availability=availability,
+        fault_start=fault_start,
+        fault_end=fault_end,
+    )

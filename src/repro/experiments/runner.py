@@ -1,0 +1,113 @@
+"""Shared experiment running machinery.
+
+:func:`run_counted` drives one workload trace through any system
+(proposal, centralized, escrow, ...) with the closed-loop discipline the
+paper's Fig. 6 implies, sampling total and per-site correspondence
+counts at update-count checkpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.types import UPDATE_TAGS, UpdateResult
+from repro.metrics.correspondence import CorrespondenceSeries
+from repro.workload.driver import run_closed
+from repro.workload.trace import WorkloadTrace
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """System state sampled after ``updates`` updates completed."""
+
+    updates: int
+    total_correspondences: float
+    per_site: Dict[str, float]
+
+
+@dataclass
+class CountedRun:
+    """Everything :func:`run_counted` measures."""
+
+    label: str
+    checkpoints: List[Checkpoint] = field(default_factory=list)
+    results: List[UpdateResult] = field(default_factory=list)
+
+    def series(self) -> CorrespondenceSeries:
+        """The (updates, correspondences) growth curve."""
+        series = CorrespondenceSeries(self.label)
+        for cp in self.checkpoints:
+            series.sample(cp.updates, cp.total_correspondences)
+        return series
+
+    def final(self) -> Checkpoint:
+        if not self.checkpoints:
+            raise ValueError(f"run {self.label!r} sampled no checkpoints")
+        return self.checkpoints[-1]
+
+
+def checkpoint_schedule(n_updates: int, every: int) -> List[int]:
+    """Multiples of ``every`` up to and always including ``n_updates``."""
+    if n_updates <= 0 or every <= 0:
+        raise ValueError("n_updates and every must be positive")
+    points = list(range(every, n_updates + 1, every))
+    if not points or points[-1] != n_updates:
+        points.append(n_updates)
+    return points
+
+
+def run_counted(
+    system,
+    trace: WorkloadTrace,
+    label: str,
+    checkpoints: Optional[Sequence[int]] = None,
+    site_names: Optional[Sequence[str]] = None,
+) -> CountedRun:
+    """Drive ``trace`` through ``system`` sampling correspondence growth.
+
+    Parameters
+    ----------
+    system:
+        Anything with the driving surface (``env``/``update``/``run``/
+        ``stats``): :class:`DistributedSystem`, :class:`CentralizedSystem`.
+    trace:
+        The frozen workload (use the *same* trace across systems).
+    checkpoints:
+        Update counts to sample at; defaults to every 10% of the trace.
+    site_names:
+        Sites to report per-site counts for; defaults to all update
+        origins found in the trace.
+    """
+    n = len(trace)
+    if checkpoints is None:
+        checkpoints = checkpoint_schedule(n, max(1, n // 10))
+    pending = sorted(set(checkpoints))
+    if pending and pending[-1] > n:
+        raise ValueError(f"checkpoint {pending[-1]} beyond trace length {n}")
+    if site_names is None:
+        site_names = sorted({e.site for e in trace})
+
+    run = CountedRun(label=label)
+    marks = set(pending)
+
+    def on_complete(i: int, event, result) -> None:
+        done = i + 1
+        if done in marks:
+            run.checkpoints.append(
+                Checkpoint(
+                    updates=done,
+                    total_correspondences=system.stats.correspondences_for_tags(
+                        UPDATE_TAGS
+                    ),
+                    per_site={
+                        s: system.stats.correspondences_for_site_tags(
+                            s, UPDATE_TAGS
+                        )
+                        for s in site_names
+                    },
+                )
+            )
+
+    run.results = run_closed(system, trace, on_complete=on_complete)
+    return run

@@ -1,0 +1,172 @@
+"""Generic parameter sweeps over the fig6-style paired comparison."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Sequence
+
+from repro.baselines.centralized import CentralizedSystem
+from repro.cluster import DistributedSystem, paper_config
+from repro.core.types import UPDATE_TAGS
+
+from repro.experiments.fig6 import make_paper_trace
+from repro.experiments.runner import run_counted
+
+
+@dataclass
+class SweepPoint:
+    """One sweep cell: parameter value → headline metrics."""
+
+    param: str
+    value: Any
+    proposal_correspondences: float
+    conventional_correspondences: float
+    local_ratio: float
+    committed_ratio: float
+
+    @property
+    def reduction(self) -> float:
+        if self.conventional_correspondences == 0:
+            return 0.0
+        return 1.0 - self.proposal_correspondences / self.conventional_correspondences
+
+
+def sweep_scale(
+    retailer_counts: Sequence[int] = (2, 4, 8, 16),
+    updates_per_site: int = 300,
+    n_items: int = 10,
+    seed: int = 0,
+) -> List[SweepPoint]:
+    """Ablation C: hold per-site demand constant, grow the system.
+
+    Decentralised AV circulation should keep per-update cost roughly
+    flat while the centralized server's total grows with system size.
+    """
+    points = []
+    for n_retailers in retailer_counts:
+        n_updates = updates_per_site * (n_retailers + 1)
+        trace = make_paper_trace(
+            n_updates, seed, n_items=n_items, n_retailers=n_retailers
+        )
+        config = paper_config(
+            n_items=n_items, n_retailers=n_retailers, seed=seed
+        )
+        proposal = run_counted(
+            DistributedSystem.build(config), trace, f"prop-r{n_retailers}",
+            checkpoints=[n_updates],
+        )
+        conventional = run_counted(
+            CentralizedSystem(config), trace, f"conv-r{n_retailers}",
+            checkpoints=[n_updates],
+        )
+        committed = sum(1 for r in proposal.results if r.committed)
+        points.append(
+            SweepPoint(
+                param="n_retailers",
+                value=n_retailers,
+                proposal_correspondences=proposal.final().total_correspondences,
+                conventional_correspondences=conventional.final().total_correspondences,
+                local_ratio=(
+                    sum(1 for r in proposal.results if r.local_only)
+                    / len(proposal.results)
+                ),
+                committed_ratio=committed / len(proposal.results),
+            )
+        )
+    return points
+
+
+def sweep_av_fraction(
+    fractions: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
+    n_updates: int = 1000,
+    n_items: int = 10,
+    seed: int = 0,
+) -> List[SweepPoint]:
+    """How much initial headroom must be distributed for the win to hold."""
+    points = []
+    trace = make_paper_trace(n_updates, seed, n_items=n_items)
+    for fraction in fractions:
+        config = paper_config(n_items=n_items, seed=seed, av_fraction=fraction)
+        proposal = run_counted(
+            DistributedSystem.build(config), trace, f"prop-a{fraction}",
+            checkpoints=[n_updates],
+        )
+        conventional = run_counted(
+            CentralizedSystem(config), trace, f"conv-a{fraction}",
+            checkpoints=[n_updates],
+        )
+        committed = sum(1 for r in proposal.results if r.committed)
+        points.append(
+            SweepPoint(
+                param="av_fraction",
+                value=fraction,
+                proposal_correspondences=proposal.final().total_correspondences,
+                conventional_correspondences=conventional.final().total_correspondences,
+                local_ratio=(
+                    sum(1 for r in proposal.results if r.local_only)
+                    / len(proposal.results)
+                ),
+                committed_ratio=committed / len(proposal.results),
+            )
+        )
+    return points
+
+
+def sweep_items(
+    item_counts: Sequence[int] = (5, 10, 20, 50, 100),
+    n_updates: int = 1000,
+    seed: int = 0,
+) -> List[SweepPoint]:
+    """The calibration sweep for the paper's illegible item count."""
+    points = []
+    for n_items in item_counts:
+        trace = make_paper_trace(n_updates, seed, n_items=n_items)
+        config = paper_config(n_items=n_items, seed=seed)
+        proposal = run_counted(
+            DistributedSystem.build(config), trace, f"prop-i{n_items}",
+            checkpoints=[n_updates],
+        )
+        conventional = run_counted(
+            CentralizedSystem(config), trace, f"conv-i{n_items}",
+            checkpoints=[n_updates],
+        )
+        committed = sum(1 for r in proposal.results if r.committed)
+        points.append(
+            SweepPoint(
+                param="n_items",
+                value=n_items,
+                proposal_correspondences=proposal.final().total_correspondences,
+                conventional_correspondences=conventional.final().total_correspondences,
+                local_ratio=(
+                    sum(1 for r in proposal.results if r.local_only)
+                    / len(proposal.results)
+                ),
+                committed_ratio=committed / len(proposal.results),
+            )
+        )
+    return points
+
+
+def sweep_rows(points: Iterable[SweepPoint]) -> List[List[Any]]:
+    """Rows for :func:`repro.metrics.report.text_table`."""
+    return [
+        [
+            p.value,
+            p.proposal_correspondences,
+            p.conventional_correspondences,
+            round(p.reduction, 3),
+            round(p.local_ratio, 3),
+            round(p.committed_ratio, 3),
+        ]
+        for p in points
+    ]
+
+
+SWEEP_HEADERS = [
+    "value",
+    "proposal",
+    "conventional",
+    "reduction",
+    "local_ratio",
+    "committed",
+]

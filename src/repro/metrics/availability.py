@@ -1,0 +1,71 @@
+"""Availability accounting for the fault-tolerance experiments.
+
+The paper's fault-tolerance claim: because Delay Updates complete within
+the local site, retailers keep serving customers while the maker (or the
+network) is down. :class:`AvailabilityTracker` measures exactly that —
+per-site success ratios inside and outside a fault window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.types import UpdateResult
+
+
+@dataclass
+class WindowStats:
+    """Attempt/commit counters for one (site, window) cell."""
+
+    attempted: int = 0
+    committed: int = 0
+
+    @property
+    def availability(self) -> float:
+        """Commit ratio; a silent site counts as available (no demand)."""
+        return self.committed / self.attempted if self.attempted else 1.0
+
+
+class AvailabilityTracker:
+    """Classifies update results into fault / no-fault windows.
+
+    Parameters
+    ----------
+    fault_start, fault_end:
+        Simulation-time bounds of the fault window (``end=None`` = open).
+    """
+
+    def __init__(self, fault_start: float, fault_end: Optional[float] = None) -> None:
+        if fault_end is not None and fault_end < fault_start:
+            raise ValueError("fault_end before fault_start")
+        self.fault_start = fault_start
+        self.fault_end = fault_end
+        self._cells: Dict[Tuple[str, bool], WindowStats] = {}
+
+    def in_fault_window(self, time: float) -> bool:
+        if time < self.fault_start:
+            return False
+        return self.fault_end is None or time <= self.fault_end
+
+    def record(self, result: UpdateResult) -> None:
+        key = (result.request.site, self.in_fault_window(result.request.issued_at))
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = WindowStats()
+            self._cells[key] = cell
+        cell.attempted += 1
+        if result.committed:
+            cell.committed += 1
+
+    def stats(self, site: str, during_fault: bool) -> WindowStats:
+        return self._cells.get((site, during_fault), WindowStats())
+
+    def availability(self, site: str, during_fault: bool) -> float:
+        return self.stats(site, during_fault).availability
+
+    def sites(self) -> List[str]:
+        return sorted({site for site, _ in self._cells})
+
+    def __repr__(self) -> str:
+        return f"<AvailabilityTracker cells={len(self._cells)}>"

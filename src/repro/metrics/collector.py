@@ -1,0 +1,148 @@
+"""Update-level metrics collection and the global ledger.
+
+:class:`GlobalLedger` tracks ground truth — the value every replica would
+converge to if all committed deltas were applied — independently of any
+site's partial view. The conservation and non-negativity invariants are
+checked against it.
+
+:class:`MetricsCollector` accumulates one
+:class:`~repro.core.types.UpdateResult` per finished update and offers
+the aggregates the experiment harness reports.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.types import UpdateKind, UpdateOutcome, UpdateResult
+
+
+class GlobalLedger:
+    """Ground-truth item values: initial + every committed delta."""
+
+    def __init__(self) -> None:
+        self._initial: Dict[str, float] = {}
+        self._delta_sum: Dict[str, float] = {}
+        self.committed_deltas = 0
+
+    def set_initial(self, item: str, value: float) -> None:
+        self._initial[item] = value
+        self._delta_sum.setdefault(item, 0.0)
+
+    def record_delta(self, item: str, delta: float) -> None:
+        if item not in self._initial:
+            raise KeyError(f"ledger has no initial value for {item!r}")
+        self._delta_sum[item] += delta
+        self.committed_deltas += 1
+
+    def true_value(self, item: str) -> float:
+        return self._initial[item] + self._delta_sum[item]
+
+    def initial_value(self, item: str) -> float:
+        return self._initial[item]
+
+    def items(self) -> Iterable[str]:
+        return self._initial.keys()
+
+    def total(self) -> float:
+        return sum(self.true_value(i) for i in self._initial)
+
+    def __contains__(self, item: str) -> bool:
+        return item in self._initial
+
+    def __len__(self) -> int:
+        return len(self._initial)
+
+
+class MetricsCollector:
+    """Aggregates finished updates for one simulation run."""
+
+    def __init__(self) -> None:
+        self.results: List[UpdateResult] = []
+        self.ledger = GlobalLedger()
+        self.by_outcome: Counter = Counter()
+        self.by_kind: Counter = Counter()
+        self.by_site: Dict[str, List[UpdateResult]] = defaultdict(list)
+
+    # ---------------------------------------------------------------- #
+    # recording
+    # ---------------------------------------------------------------- #
+
+    def record(self, result: UpdateResult) -> None:
+        """Account one finished update (and its delta, if committed)."""
+        self.results.append(result)
+        self.by_outcome[result.outcome] += 1
+        self.by_kind[result.kind] += 1
+        self.by_site[result.request.site].append(result)
+        if result.committed:
+            self.ledger.record_delta(result.request.item, result.request.delta)
+
+    # ---------------------------------------------------------------- #
+    # aggregates
+    # ---------------------------------------------------------------- #
+
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+    @property
+    def committed(self) -> int:
+        return self.by_outcome[UpdateOutcome.COMMITTED]
+
+    @property
+    def rejected(self) -> int:
+        return self.by_outcome[UpdateOutcome.REJECTED]
+
+    def count(self, kind: Optional[UpdateKind] = None, outcome: Optional[UpdateOutcome] = None) -> int:
+        n = 0
+        for r in self.results:
+            if kind is not None and r.kind is not kind:
+                continue
+            if outcome is not None and r.outcome is not outcome:
+                continue
+            n += 1
+        return n
+
+    @property
+    def local_delay_updates(self) -> int:
+        """Delay updates completed with zero communication."""
+        return sum(
+            1 for r in self.results if r.kind is UpdateKind.DELAY and r.local_only
+        )
+
+    @property
+    def delay_updates(self) -> int:
+        return self.by_kind[UpdateKind.DELAY]
+
+    @property
+    def local_ratio(self) -> float:
+        """Fraction of delay updates that never touched the network."""
+        delay = self.delay_updates
+        return self.local_delay_updates / delay if delay else 1.0
+
+    def latencies(
+        self,
+        site: Optional[str] = None,
+        kind: Optional[UpdateKind] = None,
+        committed_only: bool = True,
+    ) -> List[float]:
+        out = []
+        for r in self.results:
+            if site is not None and r.request.site != site:
+                continue
+            if kind is not None and r.kind is not kind:
+                continue
+            if committed_only and not r.committed:
+                continue
+            out.append(r.latency)
+        return out
+
+    def av_requests_total(self) -> int:
+        return sum(r.av_requests for r in self.results)
+
+    def __repr__(self) -> str:
+        return (
+            f"<MetricsCollector total={self.total} committed={self.committed}"
+            f" rejected={self.rejected} local_ratio={self.local_ratio:.2f}>"
+        )

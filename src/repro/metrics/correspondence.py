@@ -1,0 +1,72 @@
+"""Correspondence-growth series — the data behind the paper's Fig. 6.
+
+A :class:`CorrespondenceSeries` samples the network's correspondence
+count at update-count checkpoints, producing the ``(number of updates,
+number of correspondences)`` curve the paper plots for both the proposal
+and the conventional approach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+
+@dataclass
+class CorrespondenceSeries:
+    """One labelled growth curve."""
+
+    label: str
+    points: List[Tuple[int, float]] = field(default_factory=list)
+
+    def sample(self, updates: int, correspondences: float) -> None:
+        """Append a checkpoint; update counts must be nondecreasing."""
+        if self.points and updates < self.points[-1][0]:
+            raise ValueError(
+                f"update counts must be nondecreasing "
+                f"({updates} after {self.points[-1][0]})"
+            )
+        self.points.append((updates, correspondences))
+
+    @property
+    def updates(self) -> List[int]:
+        return [u for u, _ in self.points]
+
+    @property
+    def correspondences(self) -> List[float]:
+        return [c for _, c in self.points]
+
+    def final(self) -> Tuple[int, float]:
+        """The last checkpoint (total updates, total correspondences)."""
+        if not self.points:
+            raise ValueError(f"series {self.label!r} has no samples")
+        return self.points[-1]
+
+    def slope(self) -> float:
+        """Average correspondences per update over the whole run."""
+        updates, corr = self.final()
+        return corr / updates if updates else 0.0
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+def reduction_ratio(
+    proposal: CorrespondenceSeries, conventional: CorrespondenceSeries
+) -> float:
+    """Fractional reduction of the proposal vs the baseline at run end.
+
+    The paper reports "the proposed way decreases the correspondences by
+    75%" — this is that number.
+    """
+    _, conv = conventional.final()
+    _, prop = proposal.final()
+    if conv == 0:
+        return 0.0
+    return 1.0 - prop / conv
+
+
+def is_monotonic(series: CorrespondenceSeries) -> bool:
+    """Correspondence counts can only grow."""
+    cs = series.correspondences
+    return all(b >= a for a, b in zip(cs, cs[1:]))

@@ -1,0 +1,46 @@
+"""Latency summarisation helpers (simulated-time units)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Standard percentile summary of a latency sample."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    max: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.3f} p50={self.p50:.3f}"
+            f" p90={self.p90:.3f} p99={self.p99:.3f} max={self.max:.3f}"
+        )
+
+
+EMPTY_SUMMARY = LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+def summarize(latencies: Sequence[float]) -> LatencySummary:
+    """Compute a :class:`LatencySummary`; an empty sample yields zeros."""
+    if len(latencies) == 0:
+        return EMPTY_SUMMARY
+    arr = np.asarray(latencies, dtype=float)
+    if np.any(arr < 0):
+        raise ValueError("negative latency in sample")
+    return LatencySummary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        p50=float(np.percentile(arr, 50)),
+        p90=float(np.percentile(arr, 90)),
+        p99=float(np.percentile(arr, 99)),
+        max=float(arr.max()),
+    )

@@ -1,0 +1,42 @@
+"""Simulated network substrate: endpoints, channels, latency, faults, stats."""
+
+from repro.net.channel import Channel, ChannelTable
+from repro.net.endpoint import CrashedEndpointError, Endpoint, RequestTimeout
+from repro.net.faults import FaultInjector
+from repro.net.latency import (
+    ConstantLatency,
+    LatencyModel,
+    LognormalLatency,
+    PairwiseLatency,
+    UniformLatency,
+)
+from repro.net.message import Message
+from repro.net.network import EndpointNotFound, Network
+from repro.net.sizes import DEFAULT_HEADER_BYTES, SizeModel
+from repro.net.stats import (
+    MESSAGES_PER_CORRESPONDENCE,
+    NetworkStats,
+    correspondences,
+)
+
+__all__ = [
+    "Channel",
+    "ChannelTable",
+    "ConstantLatency",
+    "CrashedEndpointError",
+    "Endpoint",
+    "EndpointNotFound",
+    "FaultInjector",
+    "LatencyModel",
+    "LognormalLatency",
+    "MESSAGES_PER_CORRESPONDENCE",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "PairwiseLatency",
+    "RequestTimeout",
+    "SizeModel",
+    "DEFAULT_HEADER_BYTES",
+    "UniformLatency",
+    "correspondences",
+]

@@ -1,0 +1,119 @@
+"""Fault injection for the simulated network.
+
+The paper claims the autonomous approach keeps retailers operating through
+maker failures ("fault tolerance"). :class:`FaultInjector` provides the
+three fault classes the experiments use:
+
+* **site crash** — a crashed endpoint neither sends nor receives;
+* **network partition** — messages crossing partition groups are dropped;
+* **probabilistic message loss** — per-message Bernoulli drop.
+
+All methods may be called mid-simulation; effects apply to messages sent
+after the call (in-flight messages are delivered — links have memory).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+
+class FaultInjector:
+    """Mutable fault state consulted by the network on every send."""
+
+    def __init__(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        drop_probability: float = 0.0,
+    ) -> None:
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError(f"drop_probability {drop_probability} not in [0, 1]")
+        self._crashed: set[str] = set()
+        self._partition: Optional[dict[str, int]] = None
+        self.drop_probability = drop_probability
+        self._rng = rng
+        #: counters for reporting
+        self.crashes_injected = 0
+        self.messages_dropped = 0
+
+    # ---------------------------------------------------------------- #
+    # crash / recover
+    # ---------------------------------------------------------------- #
+
+    def crash(self, site: str) -> None:
+        """Mark ``site`` as crashed (idempotent)."""
+        if site not in self._crashed:
+            self._crashed.add(site)
+            self.crashes_injected += 1
+
+    def recover(self, site: str) -> None:
+        """Bring ``site`` back (idempotent)."""
+        self._crashed.discard(site)
+
+    def is_crashed(self, site: str) -> bool:
+        return site in self._crashed
+
+    @property
+    def crashed_sites(self) -> frozenset[str]:
+        return frozenset(self._crashed)
+
+    # ---------------------------------------------------------------- #
+    # partitions
+    # ---------------------------------------------------------------- #
+
+    def partition(self, groups: Iterable[Iterable[str]]) -> None:
+        """Split the network into isolated groups.
+
+        Sites not mentioned in any group form an implicit extra group
+        together (group index ``-1``).
+        """
+        mapping: dict[str, int] = {}
+        for idx, group in enumerate(groups):
+            for site in group:
+                if site in mapping:
+                    raise ValueError(f"site {site!r} listed in two groups")
+                mapping[site] = idx
+        self._partition = mapping
+
+    def heal(self) -> None:
+        """Remove any partition."""
+        self._partition = None
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partition is not None
+
+    def same_partition(self, a: str, b: str) -> bool:
+        if self._partition is None:
+            return True
+        return self._partition.get(a, -1) == self._partition.get(b, -1)
+
+    # ---------------------------------------------------------------- #
+    # verdict
+    # ---------------------------------------------------------------- #
+
+    def should_drop(self, src: str, dst: str) -> bool:
+        """Decide whether a message from ``src`` to ``dst`` is lost now."""
+        if src in self._crashed or dst in self._crashed:
+            self.messages_dropped += 1
+            return True
+        if not self.same_partition(src, dst):
+            self.messages_dropped += 1
+            return True
+        if self.drop_probability > 0.0:
+            if self._rng is None:
+                raise RuntimeError(
+                    "drop_probability > 0 requires an rng at construction"
+                )
+            if self._rng.random() < self.drop_probability:
+                self.messages_dropped += 1
+                return True
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultInjector crashed={sorted(self._crashed)}"
+            f" partitioned={self.partitioned}"
+            f" p_drop={self.drop_probability}>"
+        )

@@ -1,0 +1,171 @@
+"""The simulated message-passing network.
+
+:class:`Network` connects named endpoints over directed FIFO channels with
+a pluggable latency model, counts every transmitted message (the paper's
+metric), and consults a :class:`~repro.net.faults.FaultInjector` on each
+send. Delivery is an event scheduled on the simulation environment.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.net.channel import ChannelTable
+from repro.net.faults import FaultInjector
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.message import Message
+from repro.net.stats import NetworkStats
+from repro.sim.engine import Environment
+from repro.sim.events import Event
+from repro.sim.tracing import NullTracer, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.endpoint import Endpoint
+
+
+class EndpointNotFound(KeyError):
+    """Raised when sending to an unregistered endpoint name."""
+
+
+class Network:
+    """Message fabric between endpoints.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment the network schedules deliveries on.
+    latency:
+        One-way delay model (default: constant 1 time unit).
+    rng:
+        Generator used for latency sampling and probabilistic drops.
+    tracer:
+        Receives ``msg.send`` / ``msg.drop`` / ``msg.recv`` records.
+    fifo:
+        Enforce per-directed-pair in-order delivery (default ``True``).
+    faults:
+        Fault injector; a benign one is created if omitted.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        latency: Optional[LatencyModel] = None,
+        rng: Optional[np.random.Generator] = None,
+        tracer: Optional[Tracer] = None,
+        fifo: bool = True,
+        faults: Optional[FaultInjector] = None,
+        size_model=None,
+    ) -> None:
+        self.env = env
+        self.latency = latency if latency is not None else ConstantLatency(1.0)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.stats = NetworkStats()
+        self.channels = ChannelTable(fifo=fifo)
+        self.faults = faults if faults is not None else FaultInjector(rng=self.rng)
+        #: optional repro.net.sizes.SizeModel enabling byte accounting
+        self.size_model = size_model
+        self._endpoints: dict[str, "Endpoint"] = {}
+        #: observers called as ``fn(event, time, msg)`` for every
+        #: ``"send"`` / ``"recv"`` / ``"drop"`` — structured message
+        #: taps for analysis tools (sequence diagrams etc.)
+        self.observers: list = []
+        # Per-network message ids: two identical runs in one process get
+        # identical ids (the module-global fallback in Message does not).
+        from itertools import count as _count
+
+        self._msg_ids = _count(1)
+
+    def _notify(self, event: str, msg: Message) -> None:
+        for observer in self.observers:
+            observer(event, self.env.now, msg)
+
+    def next_msg_id(self) -> int:
+        """Allocate the next message id for this network."""
+        return next(self._msg_ids)
+
+    # ---------------------------------------------------------------- #
+    # topology
+    # ---------------------------------------------------------------- #
+
+    def register(self, endpoint: "Endpoint") -> None:
+        """Attach an endpoint; names must be unique."""
+        if endpoint.name in self._endpoints:
+            raise ValueError(f"endpoint {endpoint.name!r} already registered")
+        self._endpoints[endpoint.name] = endpoint
+
+    def endpoint(self, name: str) -> "Endpoint":
+        """Create, register and return a new endpoint called ``name``."""
+        from repro.net.endpoint import Endpoint
+
+        return Endpoint(self, name)
+
+    def names(self) -> list[str]:
+        """Registered endpoint names, in registration order."""
+        return list(self._endpoints)
+
+    def get(self, name: str) -> "Endpoint":
+        try:
+            return self._endpoints[name]
+        except KeyError:
+            raise EndpointNotFound(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._endpoints
+
+    def __len__(self) -> int:
+        return len(self._endpoints)
+
+    # ---------------------------------------------------------------- #
+    # transmission
+    # ---------------------------------------------------------------- #
+
+    def send(self, msg: Message) -> None:
+        """Transmit ``msg``: count it, maybe drop it, else schedule delivery."""
+        if msg.dst not in self._endpoints:
+            raise EndpointNotFound(msg.dst)
+        size = (
+            self.size_model.message_size(msg)
+            if self.size_model is not None
+            else None
+        )
+        self.stats.record_send(msg, size=size)
+        self.tracer.emit(self.env.now, "msg.send", msg.src, str(msg))
+        self._notify("send", msg)
+
+        if self.faults.should_drop(msg.src, msg.dst):
+            self.stats.record_drop(msg)
+            self.tracer.emit(self.env.now, "msg.drop", msg.src, str(msg))
+            self._notify("drop", msg)
+            return
+
+        delay = self.latency.sample(msg.src, msg.dst, self.rng)
+        when = self.channels.get(msg.src, msg.dst).delivery_time(self.env.now, delay)
+
+        delivery = Event(self.env)
+        delivery.callbacks.append(lambda _ev, m=msg: self._deliver(m))
+        delivery._ok = True
+        delivery._value = None
+        self.env.schedule(delivery, delay=when - self.env.now)
+
+    def _deliver(self, msg: Message) -> None:
+        endpoint = self._endpoints.get(msg.dst)
+        if endpoint is None:  # pragma: no cover - unregister race
+            return
+        if self.faults.is_crashed(msg.dst):
+            # Crashed while the message was in flight.
+            self.stats.record_drop(msg)
+            self.tracer.emit(self.env.now, "msg.drop", msg.dst, str(msg))
+            self._notify("drop", msg)
+            return
+        self.tracer.emit(self.env.now, "msg.recv", msg.dst, str(msg))
+        self._notify("recv", msg)
+        endpoint._receive(msg)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Network endpoints={len(self._endpoints)}"
+            f" sent={self.stats.sent_total} latency={self.latency!r}>"
+        )

@@ -1,0 +1,152 @@
+"""Message accounting.
+
+The paper's evaluation metric is the *number of correspondences for
+update*, where **2 messages are counted as 1 correspondence** (Fig. 6
+caption). :class:`NetworkStats` counts raw transmitted messages along
+several axes (per sender, per site-pair, per ``tag``) and converts to
+correspondences on demand.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.message import Message
+
+#: messages per correspondence, per the paper's Fig. 6 caption
+MESSAGES_PER_CORRESPONDENCE = 2
+
+
+def correspondences(message_count: float) -> float:
+    """Convert a raw message count to the paper's correspondence unit."""
+    return message_count / MESSAGES_PER_CORRESPONDENCE
+
+
+@dataclass
+class NetworkStats:
+    """Counters for every message handed to the network.
+
+    Dropped messages (faults) are counted separately — they were
+    transmitted, so they still cost a correspondence half.
+    """
+
+    sent_total: int = 0
+    dropped_total: int = 0
+    by_sender: Counter = field(default_factory=Counter)
+    by_receiver: Counter = field(default_factory=Counter)
+    by_pair: Counter = field(default_factory=Counter)
+    by_tag: Counter = field(default_factory=Counter)
+    by_kind: Counter = field(default_factory=Counter)
+    #: messages attributed to each site: sent + received (the per-site
+    #: numbers in Table 1 count a site's participation in exchanges)
+    by_site: Counter = field(default_factory=Counter)
+    #: (site, tag) -> messages the site sent or received under that tag
+    by_site_tag: Counter = field(default_factory=Counter)
+    #: total wire bytes (populated only when the network has a SizeModel)
+    bytes_total: int = 0
+    #: tag -> wire bytes
+    bytes_by_tag: Counter = field(default_factory=Counter)
+
+    def record_send(self, msg: "Message", size: Optional[int] = None) -> None:
+        """Account one transmitted message (``size`` in wire bytes)."""
+        self.sent_total += 1
+        self.by_sender[msg.src] += 1
+        self.by_receiver[msg.dst] += 1
+        self.by_pair[(msg.src, msg.dst)] += 1
+        self.by_tag[msg.tag] += 1
+        self.by_kind[msg.kind] += 1
+        self.by_site[msg.src] += 1
+        self.by_site[msg.dst] += 1
+        self.by_site_tag[(msg.src, msg.tag)] += 1
+        self.by_site_tag[(msg.dst, msg.tag)] += 1
+        if size is not None:
+            self.bytes_total += size
+            self.bytes_by_tag[msg.tag] += size
+
+    def record_drop(self, msg: "Message") -> None:
+        """Account a message lost to a fault (already counted as sent)."""
+        self.dropped_total += 1
+
+    # -------------------------------------------------------------- #
+    # derived views
+    # -------------------------------------------------------------- #
+
+    @property
+    def correspondences_total(self) -> float:
+        """System-wide correspondences (2 messages = 1)."""
+        return correspondences(self.sent_total)
+
+    def correspondences_for_site(self, site: str) -> float:
+        """Correspondences a site participated in (sent or received)."""
+        return correspondences(self.by_site[site])
+
+    def correspondences_for_tag(self, tag: str) -> float:
+        return correspondences(self.by_tag[tag])
+
+    def correspondences_for_site_tags(self, site: str, tags) -> float:
+        """Correspondences a site participated in, restricted to ``tags``."""
+        return correspondences(
+            sum(self.by_site_tag[(site, t)] for t in tags)
+        )
+
+    def correspondences_for_tags(self, tags) -> float:
+        """System-wide correspondences restricted to ``tags``."""
+        return correspondences(sum(self.by_tag[t] for t in tags))
+
+    def snapshot(self) -> "NetworkStats":
+        """A deep copy usable as a checkpoint."""
+        return NetworkStats(
+            sent_total=self.sent_total,
+            dropped_total=self.dropped_total,
+            by_sender=Counter(self.by_sender),
+            by_receiver=Counter(self.by_receiver),
+            by_pair=Counter(self.by_pair),
+            by_tag=Counter(self.by_tag),
+            by_kind=Counter(self.by_kind),
+            by_site=Counter(self.by_site),
+            by_site_tag=Counter(self.by_site_tag),
+            bytes_total=self.bytes_total,
+            bytes_by_tag=Counter(self.bytes_by_tag),
+        )
+
+    def diff(self, earlier: "NetworkStats") -> "NetworkStats":
+        """Counters accumulated since the ``earlier`` snapshot."""
+        return NetworkStats(
+            sent_total=self.sent_total - earlier.sent_total,
+            dropped_total=self.dropped_total - earlier.dropped_total,
+            by_sender=self.by_sender - earlier.by_sender,
+            by_receiver=self.by_receiver - earlier.by_receiver,
+            by_pair=self.by_pair - earlier.by_pair,
+            by_tag=self.by_tag - earlier.by_tag,
+            by_kind=self.by_kind - earlier.by_kind,
+            by_site=self.by_site - earlier.by_site,
+            by_site_tag=self.by_site_tag - earlier.by_site_tag,
+            bytes_total=self.bytes_total - earlier.bytes_total,
+            bytes_by_tag=self.bytes_by_tag - earlier.bytes_by_tag,
+        )
+
+    def reset(self) -> None:
+        self.sent_total = 0
+        self.dropped_total = 0
+        self.bytes_total = 0
+        self.bytes_by_tag.clear()
+        for counter in (
+            self.by_sender,
+            self.by_receiver,
+            self.by_pair,
+            self.by_tag,
+            self.by_kind,
+            self.by_site,
+            self.by_site_tag,
+        ):
+            counter.clear()
+
+    def __str__(self) -> str:
+        tags = ", ".join(f"{t}={n}" for t, n in sorted(self.by_tag.items()))
+        return (
+            f"NetworkStats(sent={self.sent_total}, dropped={self.dropped_total},"
+            f" correspondences={self.correspondences_total:.1f}, tags: {tags})"
+        )

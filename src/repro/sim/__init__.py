@@ -1,0 +1,39 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel is the substrate every other subsystem runs on: a virtual clock,
+an event queue ordered by ``(time, priority, sequence)``, generator-driven
+processes, named seeded RNG streams, and structured tracing.
+"""
+
+from repro.sim.engine import Environment
+from repro.sim.errors import (
+    AlreadyTriggered,
+    EmptySchedule,
+    Interrupt,
+    SimulationError,
+    StopSimulation,
+)
+from repro.sim.events import AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+from repro.sim.tracing import NullTracer, TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AlreadyTriggered",
+    "AnyOf",
+    "Condition",
+    "ConditionValue",
+    "EmptySchedule",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "NullTracer",
+    "Process",
+    "RngRegistry",
+    "SimulationError",
+    "StopSimulation",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+]

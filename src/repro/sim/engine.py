@@ -1,0 +1,193 @@
+"""The discrete-event simulation environment.
+
+:class:`Environment` owns the virtual clock and the event queue. Events are
+ordered by ``(time, priority, sequence)`` — the sequence number makes the
+simulation fully deterministic: two runs with the same seed execute the same
+events in the same order and produce bit-identical traces.
+
+Example
+-------
+>>> from repro.sim import Environment
+>>> env = Environment()
+>>> def hello(env):
+...     yield env.timeout(3)
+...     return env.now
+>>> proc = env.process(hello(env))
+>>> env.run()
+>>> proc.value
+3
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Iterable, Optional, Union
+
+from repro.sim.errors import EmptySchedule, StopSimulation
+from repro.sim.events import AllOf, AnyOf, Event, NORMAL, Timeout
+from repro.sim.process import Process, ProcessGenerator
+
+
+class Environment:
+    """Execution environment for a deterministic event-driven simulation.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock (default ``0.0``).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now: float = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+        #: total number of events processed (diagnostic)
+        self.events_processed: int = 0
+
+    # ------------------------------------------------------------------ #
+    # clock & inspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now} queued={len(self._queue)}>"
+
+    # ------------------------------------------------------------------ #
+    # factories
+    # ------------------------------------------------------------------ #
+
+    def event(self) -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: ProcessGenerator, name: Optional[str] = None
+    ) -> Process:
+        """Start a new :class:`Process` driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when every event in ``events`` succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when any event in ``events`` succeeded."""
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------ #
+    # scheduling & execution
+    # ------------------------------------------------------------------ #
+
+    def schedule(
+        self, event: Event, priority: int = NORMAL, delay: float = 0.0
+    ) -> None:
+        """Queue ``event`` to be processed after ``delay`` time units."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises
+        ------
+        EmptySchedule
+            If no events remain.
+        """
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no scheduled events") from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:  # pragma: no cover - double-schedule guard
+            return
+        for callback in callbacks:
+            callback(event)
+        self.events_processed += 1
+
+        if not event._ok and not event.defused:
+            # Nobody handled this failure: crash the simulation loudly.
+            exc = event.value
+            raise exc
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None``
+                run until the event queue is exhausted;
+            a number
+                run until the clock reaches that time (the clock is then
+                advanced exactly to it);
+            an :class:`Event`
+                run until that event is processed and return its value.
+
+        Returns
+        -------
+        The ``until`` event's value, if an event was given; else ``None``.
+        """
+        stop_at: Optional[float] = None
+        if until is not None:
+            if isinstance(until, Event):
+                if until.callbacks is None:
+                    # Already processed.
+                    if until.ok:
+                        return until.value
+                    raise until.value
+                until.callbacks.append(_stop_simulation)
+            else:
+                stop_at = float(until)
+                if stop_at < self._now:
+                    raise ValueError(
+                        f"until ({stop_at}) must not be before now ({self._now})"
+                    )
+
+        try:
+            while self._queue:
+                if stop_at is not None and self.peek() > stop_at:
+                    break
+                self.step()
+        except StopSimulation as stop:
+            return stop.args[0]
+        except EmptySchedule:  # pragma: no cover - guarded by while
+            pass
+
+        if stop_at is not None:
+            self._now = stop_at
+        elif isinstance(until, Event) and not until.triggered:
+            raise RuntimeError(
+                f"simulation ended but {until!r} was never triggered"
+            )
+        return None
+
+
+def _stop_simulation(event: Event) -> None:
+    """Callback attached to an ``until`` event: halt the run loop."""
+    if event.ok:
+        raise StopSimulation(event.value)
+    event.defuse()
+    raise event.value

@@ -1,0 +1,42 @@
+"""Exception types raised by the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class StopSimulation(SimulationError):
+    """Raised internally to halt :meth:`Environment.run` early.
+
+    Carries the value passed to :meth:`Environment.exit` (or the value of
+    the ``until`` event) in ``args[0]``.
+    """
+
+
+class AlreadyTriggered(SimulationError):
+    """Raised when succeeding or failing an event that already fired."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    Parameters
+    ----------
+    cause:
+        Arbitrary object describing why the process was interrupted
+        (e.g. a crash-injection token). Available as :attr:`cause`.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> object:
+        """The object passed to :meth:`Process.interrupt`."""
+        return self.args[0]

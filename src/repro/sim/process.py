@@ -1,0 +1,152 @@
+"""Generator-driven processes for the discrete-event kernel.
+
+A :class:`Process` wraps a Python generator. Each ``yield``-ed
+:class:`~repro.sim.events.Event` suspends the generator until that event is
+processed; the event's value is sent back in (or its exception thrown in).
+When the generator returns, the process event itself succeeds with the
+return value — so processes compose: one process can ``yield`` another.
+"""
+
+from __future__ import annotations
+
+from types import GeneratorType
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.errors import Interrupt
+from repro.sim.events import Event, URGENT
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Initialize(Event):
+    """Internal event that starts a process at creation time."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """A running generator inside the simulation.
+
+    The process *is* an event: it triggers when the generator finishes
+    (succeeds with the ``return`` value) or dies on an unhandled exception
+    (fails with it). Other processes may ``yield`` it to join.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: ProcessGenerator,
+        name: Optional[str] = None,
+    ) -> None:
+        if not isinstance(generator, GeneratorType):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        #: the event this process currently waits on (None when running)
+        self._target: Optional[Event] = None
+        self.name = name or generator.__name__
+        Initialize(env, self)
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} at {id(self):#x}>"
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` while the generator has not exited."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is currently suspended on."""
+        return self._target
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The event the process was waiting on is detached (it may still fire
+        later; its outcome is simply unobserved unless re-yielded).
+        Interrupting a finished process raises :class:`RuntimeError`.
+        """
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - already detached
+                pass
+            self._target = None
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks = [self._resume]
+        self.env.schedule(interrupt_event, priority=URGENT)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        if self.triggered:  # e.g. interrupted to completion before a late event
+            return
+        self.env._active_process = self
+        while True:
+            try:
+                if event.ok:
+                    next_event = self._generator.send(event.value)
+                else:
+                    # The process takes responsibility for the failure.
+                    event.defuse()
+                    next_event = self._generator.throw(event.value)
+            except StopIteration as exc:
+                # Generator finished: the process event succeeds.
+                self._target = None
+                self.env._active_process = None
+                self.succeed(exc.value)
+                return
+            except BaseException as exc:
+                self._target = None
+                self.env._active_process = None
+                self.fail(exc)
+                return
+
+            if not isinstance(next_event, Event):
+                # Misuse: inform the generator loudly and keep draining.
+                try:
+                    self._generator.throw(
+                        TypeError(
+                            f"process {self.name!r} yielded {next_event!r},"
+                            " which is not an Event"
+                        )
+                    )
+                except StopIteration as exc:
+                    self._target = None
+                    self.env._active_process = None
+                    self.succeed(exc.value)
+                    return
+                except BaseException as exc:
+                    self._target = None
+                    self.env._active_process = None
+                    self.fail(exc)
+                    return
+                continue
+
+            if next_event.callbacks is not None:
+                # Event pending, or triggered but not yet processed: wait.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+
+            # Event already processed: feed its outcome straight back in.
+            event = next_event
+
+        self.env._active_process = None

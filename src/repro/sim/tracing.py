@@ -1,0 +1,117 @@
+"""Structured trace recording for simulations.
+
+A :class:`Tracer` collects timestamped, typed records (message sends,
+protocol decisions, state changes). Traces serve three purposes here:
+
+* debugging protocol interleavings,
+* the determinism property test (same seed ⇒ identical trace),
+* offline analysis by the experiment harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One trace entry.
+
+    Attributes
+    ----------
+    time:
+        Simulation time at which the record was emitted.
+    kind:
+        Short machine-readable category, e.g. ``"msg.send"``.
+    source:
+        Component that emitted the record (e.g. a site name).
+    detail:
+        Free-form payload; must be comparable for determinism checks.
+    """
+
+    time: float
+    kind: str
+    source: str
+    detail: Any = None
+
+    def __str__(self) -> str:
+        return f"[{self.time:12.4f}] {self.kind:<18} {self.source:<10} {self.detail}"
+
+
+class Tracer:
+    """Accumulates :class:`TraceRecord` entries.
+
+    Parameters
+    ----------
+    enabled:
+        When ``False`` every :meth:`emit` is a no-op; keeps hot loops cheap
+        when tracing is not wanted.
+    max_records:
+        Optional cap; the oldest records are NOT evicted — once the cap is
+        reached further records are dropped and :attr:`dropped` counts them.
+    """
+
+    def __init__(self, enabled: bool = True, max_records: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.max_records = max_records
+        self.records: list[TraceRecord] = []
+        self.dropped = 0
+
+    def emit(self, time: float, kind: str, source: str, detail: Any = None) -> None:
+        """Record one entry (no-op when disabled or full)."""
+        if not self.enabled:
+            return
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(time, kind, source, detail))
+
+    def filter(
+        self,
+        kind: Optional[str] = None,
+        source: Optional[str] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> list[TraceRecord]:
+        """Return records matching all given criteria."""
+        out = []
+        for rec in self.records:
+            if kind is not None and rec.kind != kind:
+                continue
+            if source is not None and rec.source != source:
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def fingerprint(self) -> int:
+        """A cheap order-sensitive hash of the whole trace.
+
+        Two traces with the same fingerprint and length are, for the
+        purposes of the determinism test, identical.
+        """
+        acc = 0
+        for rec in self.records:
+            acc = (acc * 1000003 + hash((rec.time, rec.kind, rec.source, repr(rec.detail)))) & 0xFFFFFFFFFFFFFFFF
+        return acc
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __repr__(self) -> str:
+        return f"<Tracer records={len(self.records)} dropped={self.dropped}>"
+
+
+class NullTracer(Tracer):
+    """A tracer that never records; usable as a default argument."""
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False)

@@ -1,0 +1,38 @@
+"""SCM workload models, generators, drivers and traces."""
+
+from repro.workload.driver import run_closed, run_open, split_by_site
+from repro.workload.generators import (
+    HotspotWorkload,
+    MixedKindWorkload,
+    PaperWorkload,
+    WorkloadEvent,
+    WorkloadGenerator,
+    ZipfWorkload,
+)
+from repro.workload.scm import (
+    MakerAgent,
+    RetailerAgent,
+    SalesReport,
+    SCMOutcome,
+    SCMSimulation,
+)
+from repro.workload.trace import TraceSummary, WorkloadTrace
+
+__all__ = [
+    "HotspotWorkload",
+    "MakerAgent",
+    "MixedKindWorkload",
+    "PaperWorkload",
+    "RetailerAgent",
+    "SCMOutcome",
+    "SCMSimulation",
+    "SalesReport",
+    "TraceSummary",
+    "WorkloadEvent",
+    "WorkloadGenerator",
+    "WorkloadTrace",
+    "ZipfWorkload",
+    "run_closed",
+    "run_open",
+    "split_by_site",
+]

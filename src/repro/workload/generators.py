@@ -1,0 +1,213 @@
+"""Workload generators.
+
+:class:`PaperWorkload` is §4 of the paper verbatim: "In site 0, data is
+updated to increase the volume by at most 20% of the initial amount of
+data randomly. On the other hand, at site 1 and site 2, it is updated to
+decrease at most 10% randomly." Items are chosen uniformly; sites take
+turns (the paper plots against the *total* number of updates in the
+system, implying all sites contribute to one interleaved stream).
+
+The other generators model the SCM scenarios the introduction motivates
+and feed the ablation benches.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadEvent:
+    """One update to issue: ``delta`` on ``item`` at ``site``."""
+
+    site: str
+    item: str
+    delta: float
+
+    def __str__(self) -> str:
+        return f"{self.site}: {self.item}{self.delta:+g}"
+
+
+class WorkloadGenerator(ABC):
+    """Produces a deterministic stream of :class:`WorkloadEvent`."""
+
+    @abstractmethod
+    def events(self, n: int) -> Iterator[WorkloadEvent]:
+        """Yield the first ``n`` events of the stream."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__}>"
+
+
+class PaperWorkload(WorkloadGenerator):
+    """The paper's §4 update stream.
+
+    Parameters
+    ----------
+    maker:
+        The increasing site (paper: site 0).
+    retailers:
+        The decreasing sites (paper: sites 1 and 2).
+    items:
+        Catalogue item ids to draw from (uniformly).
+    initial_stock:
+        Initial amount per item; bounds the delta magnitudes.
+    rng:
+        Seeded generator (use the system's RngRegistry stream).
+    increase_fraction, decrease_fraction:
+        Paper values 0.20 and 0.10 of the initial amount.
+    site_order:
+        ``"roundrobin"`` (deterministic interleave, default) or
+        ``"random"`` (uniform site choice per update).
+    integer_deltas:
+        Draw integral quantities (stock is discrete goods).
+    """
+
+    def __init__(
+        self,
+        maker: str,
+        retailers: Sequence[str],
+        items: Sequence[str],
+        initial_stock: float,
+        rng: np.random.Generator,
+        increase_fraction: float = 0.20,
+        decrease_fraction: float = 0.10,
+        site_order: str = "roundrobin",
+        integer_deltas: bool = True,
+    ) -> None:
+        if not retailers:
+            raise ValueError("need at least one retailer")
+        if not items:
+            raise ValueError("need at least one item")
+        if site_order not in ("roundrobin", "random"):
+            raise ValueError(f"unknown site_order {site_order!r}")
+        if not 0 < increase_fraction <= 1 or not 0 < decrease_fraction <= 1:
+            raise ValueError("fractions must be in (0, 1]")
+        self.maker = maker
+        self.retailers = list(retailers)
+        self.items = list(items)
+        self.initial_stock = initial_stock
+        self.rng = rng
+        self.increase_fraction = increase_fraction
+        self.decrease_fraction = decrease_fraction
+        self.site_order = site_order
+        self.integer_deltas = integer_deltas
+        self._sites = [maker, *retailers]
+
+    def _delta(self, site: str) -> float:
+        if site == self.maker:
+            cap = self.initial_stock * self.increase_fraction
+            sign = 1.0
+        else:
+            cap = self.initial_stock * self.decrease_fraction
+            sign = -1.0
+        if self.integer_deltas:
+            cap_int = max(1, int(math.floor(cap)))
+            magnitude = float(self.rng.integers(1, cap_int + 1))
+        else:
+            magnitude = float(self.rng.uniform(0.0, cap))
+        return sign * magnitude
+
+    def events(self, n: int) -> Iterator[WorkloadEvent]:
+        for i in range(n):
+            if self.site_order == "roundrobin":
+                site = self._sites[i % len(self._sites)]
+            else:
+                site = self._sites[int(self.rng.integers(len(self._sites)))]
+            item = self.items[int(self.rng.integers(len(self.items)))]
+            yield WorkloadEvent(site, item, self._delta(site))
+
+
+class ZipfWorkload(WorkloadGenerator):
+    """Paper-style deltas with Zipf-skewed item popularity.
+
+    Real retail demand is heavy-tailed; this stresses per-item AV
+    circulation on the hot items.
+    """
+
+    def __init__(
+        self,
+        maker: str,
+        retailers: Sequence[str],
+        items: Sequence[str],
+        initial_stock: float,
+        rng: np.random.Generator,
+        skew: float = 1.2,
+        **paper_kwargs,
+    ) -> None:
+        if skew <= 1.0:
+            raise ValueError(f"zipf skew must be > 1, got {skew}")
+        self._inner = PaperWorkload(
+            maker, retailers, items, initial_stock, rng, **paper_kwargs
+        )
+        self.skew = skew
+        self.rng = rng
+        self.items = list(items)
+
+    def _pick_item(self) -> str:
+        while True:
+            rank = int(self.rng.zipf(self.skew))
+            if rank <= len(self.items):
+                return self.items[rank - 1]
+
+    def events(self, n: int) -> Iterator[WorkloadEvent]:
+        for event in self._inner.events(n):
+            yield WorkloadEvent(event.site, self._pick_item(), event.delta)
+
+
+class HotspotWorkload(WorkloadGenerator):
+    """One retailer generates a demand spike on a small hot set.
+
+    Used by the fault and strategy benches: the hot retailer drains its
+    AV fast and must pull volume across the network.
+    """
+
+    def __init__(
+        self,
+        base: WorkloadGenerator,
+        hot_site: str,
+        hot_items: Sequence[str],
+        hot_fraction: float,
+        rng: np.random.Generator,
+    ) -> None:
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError(f"hot_fraction {hot_fraction} not in [0, 1]")
+        if not hot_items:
+            raise ValueError("hot set is empty")
+        self.base = base
+        self.hot_site = hot_site
+        self.hot_items = list(hot_items)
+        self.hot_fraction = hot_fraction
+        self.rng = rng
+
+    def events(self, n: int) -> Iterator[WorkloadEvent]:
+        for event in self.base.events(n):
+            if (
+                event.site == self.hot_site
+                and event.delta < 0
+                and self.rng.random() < self.hot_fraction
+            ):
+                item = self.hot_items[int(self.rng.integers(len(self.hot_items)))]
+                yield WorkloadEvent(event.site, item, event.delta)
+            else:
+                yield event
+
+
+class MixedKindWorkload(WorkloadGenerator):
+    """Paper deltas over a catalogue with regular *and* non-regular items.
+
+    The generator is item-class agnostic (routing is the checking
+    function's job); this class simply draws from the full item list so
+    the immediate/delay-mix ablation exercises both paths.
+    """
+
+    def __init__(self, inner: PaperWorkload) -> None:
+        self.inner = inner
+
+    def events(self, n: int) -> Iterator[WorkloadEvent]:
+        return self.inner.events(n)

@@ -1,0 +1,107 @@
+"""Unit tests for the three baselines."""
+
+import pytest
+
+from repro.baselines import (
+    CENTER,
+    CentralizedSystem,
+    build_all_immediate_system,
+    build_static_escrow_system,
+)
+from repro.cluster import SystemConfig
+from repro.core import UpdateKind, UpdateOutcome
+
+
+def run_one(system, site, item, delta):
+    proc = system.update(site, item, delta)
+    system.run()
+    assert proc.ok
+    return proc.value
+
+
+class TestCentralized:
+    def make(self, **kw):
+        return CentralizedSystem(SystemConfig(n_items=2, initial_stock=50.0), **kw)
+
+    def test_every_update_is_one_correspondence(self):
+        system = self.make()
+        run_one(system, "site1", "item0", -5)
+        run_one(system, "site0", "item0", +5)
+        assert system.stats.correspondences_total == 2.0
+        assert set(system.stats.by_tag) == {"central"}
+
+    def test_server_store_is_authoritative(self):
+        system = self.make()
+        run_one(system, "site1", "item0", -5)
+        assert system.server.store.value("item0") == 45.0
+        # client replicas are NOT refreshed without replication
+        assert system.clients["site2"].store.value("item0") == 50.0
+
+    def test_negative_rejected_at_server(self):
+        system = self.make()
+        result = run_one(system, "site1", "item0", -51)
+        assert result.outcome is UpdateOutcome.REJECTED
+        assert system.server.store.value("item0") == 50.0
+
+    def test_results_recorded_in_collector(self):
+        system = self.make()
+        run_one(system, "site1", "item0", -5)
+        assert system.collector.total == 1
+        assert system.collector.ledger.true_value("item0") == 45.0
+
+    def test_replication_mode_refreshes_clients(self):
+        system = self.make(replicate=True)
+        run_one(system, "site1", "item0", -5)
+        system.run()
+        for client in system.clients.values():
+            assert client.store.value("item0") == 45.0
+        # replication costs extra central-tagged messages
+        assert system.stats.sent_total == 2 + len(system.clients)
+
+    def test_server_crash_fails_updates_with_timeout(self):
+        system = self.make(request_timeout=5.0)
+        system.network.faults.crash(CENTER)
+        result = run_one(system, "site1", "item0", -5)
+        assert result.outcome is UpdateOutcome.FAILED
+
+    def test_kind_is_immediate(self):
+        system = self.make()
+        assert run_one(system, "site1", "item0", -1).kind is UpdateKind.IMMEDIATE
+
+
+class TestAllImmediate:
+    def test_no_av_entries_anywhere(self):
+        system = build_all_immediate_system(
+            SystemConfig(n_items=3, initial_stock=10.0)
+        )
+        for site in system.sites.values():
+            assert len(site.av_table) == 0
+
+    def test_update_takes_immediate_path(self):
+        system = build_all_immediate_system(
+            SystemConfig(n_items=1, initial_stock=10.0)
+        )
+        result = run_one(system, "site1", "item0", -2)
+        assert result.kind is UpdateKind.IMMEDIATE
+        assert result.committed
+        assert system.stats.correspondences_total == 4.0  # 2(n-1), n=3
+
+
+class TestStaticEscrow:
+    def test_transfers_disabled(self):
+        system = build_static_escrow_system(
+            SystemConfig(n_items=1, initial_stock=90.0)
+        )
+        # exhaust site1's static share (30), then one more
+        run_one(system, "site1", "item0", -30)
+        result = run_one(system, "site1", "item0", -1)
+        assert result.outcome is UpdateOutcome.REJECTED
+        assert system.stats.sent_total == 0
+
+    def test_peers_unaffected(self):
+        system = build_static_escrow_system(
+            SystemConfig(n_items=1, initial_stock=90.0)
+        )
+        run_one(system, "site1", "item0", -30)
+        result = run_one(system, "site2", "item0", -30)
+        assert result.committed

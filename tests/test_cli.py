@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig6_defaults(self):
+        args = build_parser().parse_args(["fig6"])
+        assert args.updates == 1000 and args.seed == 0 and args.items == 10
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["table1", "--updates", "50", "--seed", "9", "--items", "7"]
+        )
+        assert (args.updates, args.seed, args.items) == (50, 9, 7)
+
+    def test_sweep_dimension_choices(self):
+        args = build_parser().parse_args(["sweep", "items"])
+        assert args.dimension == "items"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "bogus"])
+
+
+class TestExecution:
+    def test_fig6_runs(self, capsys):
+        assert main(["fig6", "--updates", "60", "--items", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 6" in out and "reduction" in out
+
+    def test_table1_runs(self, capsys):
+        assert main(["table1", "--updates", "60", "--items", "5"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_latency_runs(self, capsys):
+        assert main(["latency", "--updates", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "latency" in out.lower() and "speedup" in out
+
+    def test_faults_runs(self, capsys):
+        assert main(["faults", "--updates", "90"]) == 0
+        assert "Availability" in capsys.readouterr().out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+
+class TestFiguresCommand:
+    def test_figures_runs(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out and "Fig. 4" in out and "Fig. 5" in out
+        assert "av.request" in out and "imm.prepare" in out

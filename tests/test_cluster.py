@@ -1,0 +1,173 @@
+"""Unit tests for catalogue, config, bootstrap and system assembly."""
+
+import pytest
+
+from repro.cluster import (
+    DistributedSystem,
+    InvariantViolation,
+    Product,
+    ProductCatalog,
+    ProductClass,
+    SiteRole,
+    SystemConfig,
+    build_paper_system,
+    make_catalog,
+    paper_config,
+    split_volume,
+)
+
+
+class TestCatalog:
+    def test_make_catalog_shape(self):
+        cat = make_catalog(10, initial_stock=50.0, regular_fraction=0.7)
+        assert len(cat) == 10
+        assert len(cat.regular_items()) == 7
+        assert len(cat.non_regular_items()) == 3
+        assert cat.get("item0").regular
+        assert not cat.get("item9").regular
+        assert all(p.initial_stock == 50.0 for p in cat)
+
+    def test_item_name_width_scales(self):
+        cat = make_catalog(150)
+        assert "item000" in cat and "item149" in cat
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_catalog(0)
+        with pytest.raises(ValueError):
+            make_catalog(5, regular_fraction=1.5)
+
+    def test_duplicate_product_rejected(self):
+        cat = ProductCatalog()
+        cat.add(Product("x", ProductClass.REGULAR, 1.0))
+        with pytest.raises(ValueError):
+            cat.add(Product("x", ProductClass.REGULAR, 1.0))
+
+    def test_negative_stock_rejected(self):
+        with pytest.raises(ValueError):
+            ProductCatalog().add(Product("x", ProductClass.REGULAR, -1.0))
+
+
+class TestConfig:
+    def test_site_names_and_roles(self):
+        config = SystemConfig(n_retailers=3)
+        assert config.site_names == ["site0", "site1", "site2", "site3"]
+        assert config.maker == "site0"
+        assert config.retailers == ["site1", "site2", "site3"]
+        assert config.n_sites == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystemConfig(n_retailers=0)
+        with pytest.raises(ValueError):
+            SystemConfig(av_fraction=1.5)
+        with pytest.raises(ValueError):
+            SystemConfig(latency_mean=-1)
+
+    def test_paper_config_defaults(self):
+        config = paper_config()
+        assert config.n_retailers == 2
+        assert config.regular_fraction == 1.0
+
+
+class TestSplitVolume:
+    def test_equal_split_integral(self):
+        shares = split_volume(90, {"a": 1, "b": 1, "c": 1}, ["a", "b", "c"])
+        assert shares == {"a": 30.0, "b": 30.0, "c": 30.0}
+
+    def test_remainder_goes_to_earliest(self):
+        shares = split_volume(10, {"a": 1, "b": 1, "c": 1}, ["a", "b", "c"])
+        assert shares == {"a": 4.0, "b": 3.0, "c": 3.0}
+        assert sum(shares.values()) == 10
+
+    def test_weighted(self):
+        shares = split_volume(100, {"a": 3, "b": 1}, ["a", "b"])
+        assert shares == {"a": 75.0, "b": 25.0}
+
+    def test_fractional_total(self):
+        shares = split_volume(1.5, {"a": 1, "b": 2}, ["a", "b"])
+        assert shares["a"] == pytest.approx(0.5)
+        assert shares["b"] == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_volume(-1, {"a": 1}, ["a"])
+        with pytest.raises(ValueError):
+            split_volume(10, {"a": 1}, ["a", "b"])
+        with pytest.raises(ValueError):
+            split_volume(10, {"a": 0}, ["a"])
+
+
+class TestSystemAssembly:
+    def test_build_paper_system_shape(self):
+        system = build_paper_system(n_items=4, initial_stock=60.0)
+        assert len(system.sites) == 3
+        assert system.maker.is_maker
+        assert [r.role for r in system.retailers] == [SiteRole.RETAILER] * 2
+        for site in system.sites.values():
+            assert len(site.store) == 4
+            assert site.value("item0") == 60.0
+            assert site.av_table.get("item0") == 20.0
+
+    def test_av_weights_respected(self):
+        system = DistributedSystem.build(
+            SystemConfig(
+                n_items=1,
+                initial_stock=100.0,
+                av_weights={"site0": 2, "site1": 1, "site2": 1},
+            )
+        )
+        assert system.site("site0").av_table.get("item0") == 50.0
+        assert system.site("site1").av_table.get("item0") == 25.0
+
+    def test_av_fraction(self):
+        system = build_paper_system(n_items=1, initial_stock=90.0, av_fraction=0.5)
+        assert system.av_total("item0") == 45.0
+
+    def test_bootstrap_seeds_beliefs(self):
+        system = build_paper_system(n_items=1, initial_stock=90.0)
+        beliefs = system.site("site1").accelerator.beliefs
+        assert beliefs.believed_volume("site0", "item0") == 30.0
+        assert beliefs.believed_volume("site2", "item0") == 30.0
+        assert beliefs.believed_volume("site1", "item0") is None  # not self
+
+    def test_ledger_initialised(self):
+        system = build_paper_system(n_items=2, initial_stock=10.0)
+        assert system.collector.ledger.true_value("item1") == 10.0
+
+    def test_non_regular_items_have_no_av(self):
+        system = build_paper_system(
+            n_items=2, initial_stock=10.0, regular_fraction=0.5
+        )
+        site = system.site("site1")
+        assert site.av_table.defined("item0")
+        assert not site.av_table.defined("item1")
+
+    def test_invariant_violation_detected(self):
+        system = build_paper_system(n_items=1, initial_stock=90.0)
+        # Corrupt: mint AV out of thin air.
+        system.site("site1").av_table.add("item0", 1000.0)
+        with pytest.raises(InvariantViolation, match="exceeds true value"):
+            system.check_invariants()
+
+    def test_negative_av_detected(self):
+        system = build_paper_system(n_items=1, initial_stock=90.0)
+        system.site("site1").av_table._av["item0"] = -1.0
+        with pytest.raises(InvariantViolation, match="negative AV"):
+            system.check_invariants()
+
+    def test_non_regular_divergence_detected(self):
+        system = build_paper_system(
+            n_items=1, initial_stock=90.0, regular_fraction=0.0
+        )
+        system.site("site1").store.set_value("item0", 42.0)
+        with pytest.raises(InvariantViolation, match="diverged"):
+            system.check_invariants()
+
+    def test_site_value_passthrough(self):
+        system = build_paper_system(n_items=1, initial_stock=90.0)
+        assert system.site("site2").value("item0") == 90.0
+
+    def test_repr(self):
+        system = build_paper_system(n_items=1, initial_stock=90.0)
+        assert "sites=3" in repr(system)

@@ -1,0 +1,132 @@
+"""Unit tests for the AV table and holds."""
+
+import pytest
+
+from repro.core import AVTable, AVUndefined, InsufficientAV, InvalidVolume
+
+
+@pytest.fixture
+def table():
+    t = AVTable("site1")
+    t.define("A", 40.0)
+    t.define("B", 0.0)
+    return t
+
+
+class TestDefine:
+    def test_defined_is_the_checking_predicate(self, table):
+        assert table.defined("A")
+        assert not table.defined("ghost")
+
+    def test_double_define_rejected(self, table):
+        with pytest.raises(InvalidVolume):
+            table.define("A", 1.0)
+
+    def test_negative_initial_rejected(self, table):
+        with pytest.raises(InvalidVolume):
+            table.define("C", -1.0)
+
+    def test_undefine_returns_volume(self, table):
+        assert table.undefine("A") == 40.0
+        assert not table.defined("A")
+
+    def test_undefine_unknown(self, table):
+        with pytest.raises(AVUndefined):
+            table.undefine("ghost")
+
+
+class TestVolumeMovement:
+    def test_get_unknown_raises(self, table):
+        with pytest.raises(AVUndefined):
+            table.get("ghost")
+
+    def test_add(self, table):
+        assert table.add("A", 10) == 50.0
+
+    def test_add_negative_rejected(self, table):
+        with pytest.raises(InvalidVolume):
+            table.add("A", -1)
+
+    def test_add_undefined_rejected(self, table):
+        with pytest.raises(AVUndefined):
+            table.add("ghost", 5)
+
+    def test_take_exact(self, table):
+        assert table.take("A", 40) == 40
+        assert table.get("A") == 0.0
+
+    def test_take_insufficient(self, table):
+        with pytest.raises(InsufficientAV) as exc:
+            table.take("A", 41)
+        assert exc.value.available == 40.0
+        assert exc.value.requested == 41
+        assert table.get("A") == 40.0  # unchanged
+
+    def test_take_negative_rejected(self, table):
+        with pytest.raises(InvalidVolume):
+            table.take("A", -5)
+
+    def test_take_up_to_caps_at_available(self, table):
+        assert table.take_up_to("A", 100) == 40.0
+        assert table.get("A") == 0.0
+
+    def test_take_up_to_partial(self, table):
+        assert table.take_up_to("A", 15) == 15.0
+        assert table.get("A") == 25.0
+
+    def test_take_all_drains(self, table):
+        assert table.take_all("A") == 40.0
+        assert table.get("A") == 0.0
+        assert table.take_all("A") == 0.0
+
+    def test_total_and_views(self, table):
+        assert table.total() == 40.0
+        assert table.as_dict() == {"A": 40.0, "B": 0.0}
+        assert dict(table.items()) == {"A": 40.0, "B": 0.0}
+        assert "A" in table and len(table) == 2
+
+
+class TestHold:
+    def test_hold_accumulate_and_consume_returns_excess(self, table):
+        hold = table.hold("A")
+        hold.add(table.take_all("A"))
+        hold.add(15)  # a peer grant
+        hold.consume(45)
+        assert table.get("A") == 10.0  # 55 held - 45 consumed
+        assert hold.closed
+
+    def test_hold_release_returns_everything(self, table):
+        hold = table.hold("A")
+        hold.add(table.take_all("A"))
+        hold.release()
+        assert table.get("A") == 40.0
+
+    def test_consume_more_than_held_raises(self, table):
+        hold = table.hold("A")
+        hold.add(10)
+        with pytest.raises(InsufficientAV):
+            hold.consume(11)
+
+    def test_closed_hold_rejects_operations(self, table):
+        hold = table.hold("A")
+        hold.add(5)
+        hold.release()
+        for op in (lambda: hold.add(1), lambda: hold.consume(1), hold.release):
+            with pytest.raises(InvalidVolume):
+                op()
+
+    def test_hold_on_undefined_item(self, table):
+        with pytest.raises(AVUndefined):
+            table.hold("ghost")
+
+    def test_hold_negative_add_rejected(self, table):
+        with pytest.raises(InvalidVolume):
+            table.hold("A").add(-1)
+
+    def test_conservation_through_hold_cycle(self, table):
+        """take_all -> hold -> consume/release never creates volume."""
+        start = table.total()
+        hold = table.hold("A")
+        hold.add(table.take_all("A"))
+        hold.consume(hold.amount)  # consume everything: nothing returns
+        assert table.total() == start - 40.0

@@ -1,0 +1,178 @@
+"""Unit tests for belief tables, deciding policies and selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BeliefTable,
+    BelievedRichestStrategy,
+    ExactPolicy,
+    FixedOrderStrategy,
+    GrantAllPolicy,
+    OverdraftPolicy,
+    ProportionalPolicy,
+    RandomStrategy,
+    RoundRobinStrategy,
+    Soda99Policy,
+)
+
+
+class TestBeliefTable:
+    def test_observe_and_lookup(self):
+        b = BeliefTable("site1")
+        b.observe("site0", "A", 40.0, now=1.0)
+        assert b.believed_volume("site0", "A") == 40.0
+        assert b.believed_volume("site0", "B") is None
+        assert b.belief("site0", "A").observed_at == 1.0
+
+    def test_newer_observation_wins(self):
+        b = BeliefTable()
+        b.observe("p", "A", 40.0, now=1.0)
+        b.observe("p", "A", 10.0, now=2.0)
+        assert b.believed_volume("p", "A") == 10.0
+
+    def test_stale_observation_ignored(self):
+        b = BeliefTable()
+        b.observe("p", "A", 10.0, now=5.0)
+        b.observe("p", "A", 99.0, now=1.0)  # out-of-order arrival
+        assert b.believed_volume("p", "A") == 10.0
+
+    def test_ranked_peers_richest_first(self):
+        b = BeliefTable()
+        b.observe("poor", "A", 1.0, now=0)
+        b.observe("rich", "A", 50.0, now=0)
+        b.observe("empty", "A", 0.0, now=0)
+        ranked = b.ranked_peers("A", ["poor", "rich", "empty", "unknown"])
+        assert ranked[0] == "rich"
+        assert ranked[1] == "poor"
+        # unknown ranks above known-empty
+        assert ranked.index("unknown") < ranked.index("empty")
+
+    def test_ranked_ties_break_by_name(self):
+        b = BeliefTable()
+        b.observe("b", "A", 5.0, now=0)
+        b.observe("a", "A", 5.0, now=0)
+        assert b.ranked_peers("A", ["b", "a"]) == ["a", "b"]
+
+    def test_forget_peer(self):
+        b = BeliefTable()
+        b.observe("p", "A", 1.0, now=0)
+        b.observe("p", "B", 2.0, now=0)
+        b.observe("q", "A", 3.0, now=0)
+        b.forget_peer("p")
+        assert b.believed_volume("p", "A") is None
+        assert b.believed_volume("q", "A") == 3.0
+        assert len(b) == 1
+
+
+class TestPolicies:
+    def test_soda99_requests_shortage(self):
+        p = Soda99Policy()
+        assert p.request_amount(17.0) == 17.0
+
+    def test_soda99_grants_ceil_half(self):
+        p = Soda99Policy()
+        assert p.grant_amount(40.0, 5.0) == 20.0
+        assert p.grant_amount(41.0, 5.0) == 21.0  # ceil of 20.5
+        assert p.grant_amount(1.0, 5.0) == 1.0  # never livelocks at 1
+        assert p.grant_amount(0.0, 5.0) == 0.0
+
+    def test_soda99_fractional_half(self):
+        assert Soda99Policy().grant_amount(5.5, 1.0) == 2.75
+
+    def test_grant_all(self):
+        p = GrantAllPolicy()
+        assert p.grant_amount(40.0, 5.0) == 40.0
+        assert p.request_amount(3.0) == 3.0
+
+    def test_exact(self):
+        p = ExactPolicy()
+        assert p.grant_amount(40.0, 5.0) == 5.0
+        assert p.grant_amount(3.0, 5.0) == 3.0
+
+    def test_proportional_validation_and_grant(self):
+        with pytest.raises(ValueError):
+            ProportionalPolicy(0.0)
+        with pytest.raises(ValueError):
+            ProportionalPolicy(1.5)
+        p = ProportionalPolicy(0.25)
+        assert p.grant_amount(40.0, 5.0) == 10.0
+        assert p.grant_amount(1.0, 5.0) == 1.0  # ceil keeps integers moving
+
+    def test_overdraft_requests_more(self):
+        with pytest.raises(ValueError):
+            OverdraftPolicy(0.5)
+        p = OverdraftPolicy(2.0)
+        assert p.request_amount(5.0) == 10.0
+        assert p.grant_amount(40.0, 10.0) >= 10.0
+
+    def test_grants_never_exceed_available(self):
+        for policy in (
+            Soda99Policy(),
+            GrantAllPolicy(),
+            ExactPolicy(),
+            ProportionalPolicy(0.9),
+            OverdraftPolicy(3.0),
+        ):
+            for avail in (0.0, 1.0, 7.0, 100.0):
+                for req in (0.0, 1.0, 50.0, 1000.0):
+                    g = policy.grant_amount(avail, req)
+                    assert 0.0 <= g <= avail, (policy, avail, req, g)
+
+
+class TestStrategies:
+    def setup_method(self):
+        self.beliefs = BeliefTable()
+        self.beliefs.observe("s0", "A", 50.0, now=0)
+        self.beliefs.observe("s2", "A", 5.0, now=0)
+        self.candidates = ["s0", "s2", "s3"]
+
+    def test_believed_richest(self):
+        s = BelievedRichestStrategy()
+        assert s.select("A", self.candidates, frozenset(), self.beliefs) == "s0"
+        assert (
+            s.select("A", self.candidates, frozenset({"s0"}), self.beliefs) == "s2"
+        )
+        assert (
+            s.select("A", self.candidates, frozenset(self.candidates), self.beliefs)
+            is None
+        )
+
+    def test_round_robin_cycles(self):
+        s = RoundRobinStrategy()
+        first = s.select("A", self.candidates, frozenset(), self.beliefs)
+        second = s.select("A", self.candidates, frozenset(), self.beliefs)
+        third = s.select("A", self.candidates, frozenset(), self.beliefs)
+        fourth = s.select("A", self.candidates, frozenset(), self.beliefs)
+        assert [first, second, third] == self.candidates
+        assert fourth == first
+
+    def test_round_robin_skips_tried(self):
+        s = RoundRobinStrategy()
+        got = s.select("A", self.candidates, frozenset({"s0"}), self.beliefs)
+        assert got == "s2"
+
+    def test_random_deterministic_with_seed(self):
+        a = RandomStrategy(np.random.default_rng(1))
+        b = RandomStrategy(np.random.default_rng(1))
+        picks_a = [a.select("A", self.candidates, frozenset(), self.beliefs) for _ in range(10)]
+        picks_b = [b.select("A", self.candidates, frozenset(), self.beliefs) for _ in range(10)]
+        assert picks_a == picks_b
+        assert set(picks_a) <= set(self.candidates)
+
+    def test_random_never_returns_tried(self):
+        s = RandomStrategy(np.random.default_rng(0))
+        for _ in range(20):
+            got = s.select("A", self.candidates, frozenset({"s0", "s2"}), self.beliefs)
+            assert got == "s3"
+        assert s.select("A", self.candidates, frozenset(self.candidates), self.beliefs) is None
+
+    def test_fixed_order(self):
+        s = FixedOrderStrategy(["s2", "s0"])
+        assert s.select("A", self.candidates, frozenset(), self.beliefs) == "s2"
+        assert s.select("A", self.candidates, frozenset({"s2"}), self.beliefs) == "s0"
+        # candidates not in the configured order come last
+        assert (
+            s.select("A", self.candidates, frozenset({"s2", "s0"}), self.beliefs)
+            == "s3"
+        )

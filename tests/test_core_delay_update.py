@@ -1,0 +1,141 @@
+"""Behavioural tests for the Delay Update protocol on a real 3-site system."""
+
+import pytest
+
+from repro.cluster import DistributedSystem, SystemConfig, build_paper_system
+from repro.core import UpdateKind, UpdateOutcome
+
+
+def run_one(system, site, item, delta):
+    proc = system.update(site, item, delta)
+    system.run()
+    assert proc.ok
+    return proc.value
+
+
+@pytest.fixture
+def system():
+    # 1 item, stock 90 -> AV 30 per site.
+    return build_paper_system(n_items=1, initial_stock=90.0, seed=0)
+
+
+ITEM = "item0"
+
+
+class TestLocalPath:
+    def test_decrement_within_av_is_local_and_silent(self, system):
+        result = run_one(system, "site1", ITEM, -30)
+        assert result.committed and result.local_only
+        assert result.kind is UpdateKind.DELAY
+        assert system.stats.sent_total == 0
+        assert system.site("site1").av_table.get(ITEM) == 0.0
+        assert system.site("site1").value(ITEM) == 60.0
+
+    def test_increment_mints_av_locally(self, system):
+        result = run_one(system, "site0", ITEM, +25)
+        assert result.committed and result.local_only
+        assert system.stats.sent_total == 0
+        assert system.site("site0").av_table.get(ITEM) == 55.0
+        assert system.collector.ledger.true_value(ITEM) == 115.0
+
+    def test_zero_delta_is_local_noop_commit(self, system):
+        result = run_one(system, "site1", ITEM, 0)
+        assert result.committed and result.local_only
+        assert system.site("site1").av_table.get(ITEM) == 30.0
+
+    def test_replicas_diverge_without_propagation(self, system):
+        run_one(system, "site1", ITEM, -10)
+        assert system.site("site1").value(ITEM) == 80.0
+        assert system.site("site0").value(ITEM) == 90.0  # not yet told
+
+
+class TestTransferPath:
+    def test_insufficient_av_triggers_one_transfer(self, system):
+        result = run_one(system, "site1", ITEM, -45)
+        assert result.committed and not result.local_only
+        assert result.av_requests == 1
+        # Believed-richest is a tie broken by name -> asks site0, which
+        # grants ceil(30/2) = 15, just covering the shortage.
+        assert result.av_obtained == 15.0
+        assert system.stats.sent_total == 2  # request + grant
+        assert system.av_total(ITEM) == 90.0 - 45.0
+
+    def test_leftover_grant_stays_at_requester(self, system):
+        # need 31, holds 30 -> shortage 1; grantor still gives half (15).
+        result = run_one(system, "site1", ITEM, -31)
+        assert result.committed
+        assert system.site("site1").av_table.get(ITEM) == 14.0  # 45 - 31
+        assert system.site("site0").av_table.get(ITEM) == 15.0
+
+    def test_multiple_requests_until_covered(self, system):
+        # need 75 > 30 local + 15 from first grant -> keeps asking.
+        result = run_one(system, "site1", ITEM, -75)
+        assert result.committed
+        assert result.av_requests >= 2
+        assert system.av_total(ITEM) == 15.0
+
+    def test_reject_when_system_dry(self, system):
+        result = run_one(system, "site1", ITEM, -91)  # > total stock 90
+        assert result.outcome is UpdateOutcome.REJECTED
+        # All accumulated AV returned: nothing lost.
+        assert system.av_total(ITEM) == 90.0
+        # The failed attempt cost messages (it had to discover dryness).
+        assert system.stats.sent_total > 0
+        # Value unchanged everywhere.
+        assert all(s.value(ITEM) == 90.0 for s in system.sites.values())
+
+    def test_rejected_update_recorded(self, system):
+        run_one(system, "site1", ITEM, -91)
+        assert system.collector.rejected == 1
+        assert system.collector.ledger.true_value(ITEM) == 90.0
+
+    def test_exact_total_av_commits(self, system):
+        result = run_one(system, "site1", ITEM, -90)
+        assert result.committed
+        assert system.av_total(ITEM) == 0.0
+        assert system.collector.ledger.true_value(ITEM) == 0.0
+
+    def test_beliefs_updated_from_grant_reply(self, system):
+        run_one(system, "site1", ITEM, -45)
+        accel = system.site("site1").accelerator
+        # site0 granted 15 of 30; the reply piggybacked its remainder.
+        assert accel.beliefs.believed_volume("site0", ITEM) == 15.0
+
+    def test_grantor_learned_requester_is_broke(self, system):
+        run_one(system, "site1", ITEM, -45)
+        accel0 = system.site("site0").accelerator
+        believed = accel0.beliefs.believed_volume("site1", ITEM)
+        assert believed == 30.0  # the hold amount piggybacked on the ask
+
+
+class TestPropagation:
+    def test_propagation_converges_replicas(self):
+        system = build_paper_system(
+            n_items=1, initial_stock=90.0, seed=0, propagate=True
+        )
+        run_one(system, "site1", ITEM, -10)
+        run_one(system, "site0", ITEM, +5)
+        system.run()  # drain propagation
+        for site in system.sites.values():
+            assert site.value(ITEM) == 85.0
+        system.check_invariants(quiescent=True)
+
+    def test_propagation_tagged_separately(self):
+        system = build_paper_system(
+            n_items=1, initial_stock=90.0, seed=0, propagate=True
+        )
+        run_one(system, "site1", ITEM, -10)
+        system.run()
+        assert system.stats.by_tag["prop"] == 2  # one push per peer
+        assert system.stats.by_tag.get("av", 0) == 0
+
+
+class TestStaticEscrow:
+    def test_no_transfers_reject_instead(self):
+        system = DistributedSystem.build(
+            SystemConfig(n_items=1, initial_stock=90.0, allow_transfers=False)
+        )
+        result = run_one(system, "site1", ITEM, -45)
+        assert result.outcome is UpdateOutcome.REJECTED
+        assert system.stats.sent_total == 0
+        assert system.av_total(ITEM) == 90.0

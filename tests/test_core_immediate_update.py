@@ -1,0 +1,122 @@
+"""Behavioural tests for the Immediate Update (primary-copy) protocol."""
+
+import pytest
+
+from repro.cluster import build_paper_system
+from repro.core import UpdateKind, UpdateOutcome
+
+
+@pytest.fixture
+def system():
+    # 2 items, both non-regular -> every update is Immediate.
+    return build_paper_system(
+        n_items=2, initial_stock=50.0, regular_fraction=0.0, seed=0
+    )
+
+
+ITEM = "item0"
+
+
+def run_one(system, site, item, delta):
+    proc = system.update(site, item, delta)
+    system.run()
+    assert proc.ok
+    return proc.value
+
+
+class TestCommitPath:
+    def test_routing_via_checking_function(self, system):
+        accel = system.site("site1").accelerator
+        assert accel.check(ITEM) is UpdateKind.IMMEDIATE
+
+    def test_commit_updates_every_replica(self, system):
+        result = run_one(system, "site1", ITEM, -7)
+        assert result.committed and result.kind is UpdateKind.IMMEDIATE
+        assert not result.local_only
+        for site in system.sites.values():
+            assert site.value(ITEM) == 43.0
+        system.check_invariants()
+
+    def test_message_cost_is_4_per_peer_pair(self, system):
+        run_one(system, "site1", ITEM, -7)
+        # 3 sites: 2 peers x (prepare+ready+commit+ack) = 8 messages.
+        assert system.stats.sent_total == 8
+        assert system.stats.correspondences_total == 4.0
+        assert set(system.stats.by_tag) == {"imm"}
+
+    def test_coordinator_at_base_works_too(self, system):
+        result = run_one(system, "site0", ITEM, +10)
+        assert result.committed
+        for site in system.sites.values():
+            assert site.value(ITEM) == 60.0
+
+    def test_locks_released_after_commit(self, system):
+        run_one(system, "site1", ITEM, -7)
+        for site in system.sites.values():
+            assert not site.accelerator.locks.is_locked(ITEM)
+
+
+class TestAbortPath:
+    def test_negative_result_aborts_globally(self, system):
+        result = run_one(system, "site2", ITEM, -51)
+        assert result.outcome is UpdateOutcome.ABORTED
+        for site in system.sites.values():
+            assert site.value(ITEM) == 50.0
+            assert not site.accelerator.locks.is_locked(ITEM)
+
+    def test_abort_then_commit_sequence(self, system):
+        run_one(system, "site2", ITEM, -51)
+        result = run_one(system, "site2", ITEM, -50)
+        assert result.committed
+        for site in system.sites.values():
+            assert site.value(ITEM) == 0.0
+
+
+class TestContention:
+    def test_concurrent_updates_same_item_all_commit(self, system):
+        """Two racing coordinators: no deadlock, serialized outcome."""
+        p1 = system.update("site1", ITEM, -5)
+        p2 = system.update("site2", ITEM, -5)
+        system.run()
+        assert p1.ok and p2.ok
+        outcomes = {p1.value.outcome, p2.value.outcome}
+        assert outcomes == {UpdateOutcome.COMMITTED}
+        for site in system.sites.values():
+            assert site.value(ITEM) == 40.0
+
+    def test_concurrent_updates_different_items_parallel(self, system):
+        p1 = system.update("site1", "item0", -5)
+        p2 = system.update("site2", "item1", -5)
+        system.run()
+        assert p1.value.committed and p2.value.committed
+        assert system.site("site0").value("item0") == 45.0
+        assert system.site("site0").value("item1") == 45.0
+
+    def test_many_racing_updates_serialize_correctly(self, system):
+        procs = [system.update(f"site{(i % 2) + 1}", ITEM, -2) for i in range(10)]
+        system.run()
+        committed = sum(1 for p in procs if p.value.committed)
+        assert committed == 10
+        for site in system.sites.values():
+            assert site.value(ITEM) == 30.0
+        system.check_invariants()
+
+    def test_contention_resolves_by_queuing_not_retrying(self, system):
+        system.update("site1", ITEM, -5)
+        system.update("site2", ITEM, -5)
+        system.run()
+        total_retries = sum(
+            s.accelerator.immediate.retries for s in system.sites.values()
+        )
+        assert total_retries == 0  # canonical-order locking: waits, no aborts
+
+    def test_interleaved_with_racing_aborts(self, system):
+        """Overdraw races: exactly the affordable prefix commits."""
+        # stock 50; ten racing -12s -> only 4 can commit.
+        procs = [system.update(f"site{(i % 2) + 1}", ITEM, -12) for i in range(10)]
+        system.run()
+        committed = sum(1 for p in procs if p.value.committed)
+        assert committed == 4
+        for site in system.sites.values():
+            assert site.value(ITEM) == 2.0
+        system.check_invariants()

@@ -1,0 +1,138 @@
+"""Unit tests for the lock manager, including simulated waiting."""
+
+import pytest
+
+from repro.db import LockError, LockManager, LockMode, LockUpgradeError
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def lm(env):
+    return LockManager(env)
+
+
+def test_free_lock_granted_immediately(lm):
+    ev = lm.acquire("A", "p1", LockMode.EXCLUSIVE)
+    assert ev.triggered
+    assert lm.holders("A") == {"p1": LockMode.EXCLUSIVE}
+
+
+def test_shared_locks_coexist(lm):
+    assert lm.acquire("A", "p1", LockMode.SHARED).triggered
+    assert lm.acquire("A", "p2", LockMode.SHARED).triggered
+    assert set(lm.holders("A")) == {"p1", "p2"}
+
+
+def test_exclusive_blocks_everyone(lm):
+    lm.acquire("A", "p1", LockMode.EXCLUSIVE)
+    assert not lm.acquire("A", "p2", LockMode.SHARED).triggered
+    assert not lm.acquire("A", "p3", LockMode.EXCLUSIVE).triggered
+    assert lm.waiting("A") == 2
+
+
+def test_release_grants_next_fifo(env, lm):
+    lm.acquire("A", "p1", LockMode.EXCLUSIVE)
+    e2 = lm.acquire("A", "p2", LockMode.EXCLUSIVE)
+    e3 = lm.acquire("A", "p3", LockMode.EXCLUSIVE)
+    lm.release("A", "p1")
+    assert e2.triggered and not e3.triggered
+    lm.release("A", "p2")
+    assert e3.triggered
+
+
+def test_grant_wave_admits_shared_batch(lm):
+    lm.acquire("A", "w", LockMode.EXCLUSIVE)
+    s1 = lm.acquire("A", "r1", LockMode.SHARED)
+    s2 = lm.acquire("A", "r2", LockMode.SHARED)
+    x = lm.acquire("A", "w2", LockMode.EXCLUSIVE)
+    lm.release("A", "w")
+    assert s1.triggered and s2.triggered and not x.triggered
+    lm.release("A", "r1")
+    assert not x.triggered
+    lm.release("A", "r2")
+    assert x.triggered
+
+
+def test_no_barging_past_queued_exclusive(lm):
+    """A shared request behind a queued X waits (fairness/no starvation)."""
+    lm.acquire("A", "r1", LockMode.SHARED)
+    x = lm.acquire("A", "w", LockMode.EXCLUSIVE)
+    s2 = lm.acquire("A", "r2", LockMode.SHARED)
+    assert not x.triggered and not s2.triggered
+    lm.release("A", "r1")
+    assert x.triggered and not s2.triggered
+    lm.release("A", "w")
+    assert s2.triggered
+
+
+def test_reentrant_acquire(lm):
+    lm.acquire("A", "p1", LockMode.EXCLUSIVE)
+    again = lm.acquire("A", "p1", LockMode.EXCLUSIVE)
+    assert again.triggered
+
+
+def test_upgrade_sole_holder(lm):
+    lm.acquire("A", "p1", LockMode.SHARED)
+    up = lm.acquire("A", "p1", LockMode.EXCLUSIVE)
+    assert up.triggered
+    assert lm.holders("A") == {"p1": LockMode.EXCLUSIVE}
+
+
+def test_upgrade_with_other_holders_rejected(lm):
+    lm.acquire("A", "p1", LockMode.SHARED)
+    lm.acquire("A", "p2", LockMode.SHARED)
+    with pytest.raises(LockUpgradeError):
+        lm.acquire("A", "p1", LockMode.EXCLUSIVE)
+
+
+def test_release_without_hold_raises(lm):
+    with pytest.raises(LockError):
+        lm.release("A", "nobody")
+
+
+def test_locks_independent_per_item(lm):
+    lm.acquire("A", "p1", LockMode.EXCLUSIVE)
+    assert lm.acquire("B", "p2", LockMode.EXCLUSIVE).triggered
+
+
+def test_is_locked_and_cleanup(lm):
+    assert not lm.is_locked("A")
+    lm.acquire("A", "p1", LockMode.EXCLUSIVE)
+    assert lm.is_locked("A")
+    lm.release("A", "p1")
+    assert not lm.is_locked("A")
+    assert lm._locks == {}  # fully cleaned up
+
+
+def test_process_integration(env, lm):
+    """Two processes serialize on an exclusive lock."""
+    order = []
+
+    def worker(env, name, hold):
+        yield lm.acquire("A", name, LockMode.EXCLUSIVE)
+        order.append((name, "in", env.now))
+        yield env.timeout(hold)
+        lm.release("A", name)
+        order.append((name, "out", env.now))
+
+    env.process(worker(env, "w1", 5))
+    env.process(worker(env, "w2", 3))
+    env.run()
+    assert order == [
+        ("w1", "in", 0),
+        ("w1", "out", 5),
+        ("w2", "in", 5),
+        ("w2", "out", 8),
+    ]
+
+
+def test_exclusive_downgrade_request_is_noop(lm):
+    lm.acquire("A", "p1", LockMode.EXCLUSIVE)
+    ev = lm.acquire("A", "p1", LockMode.SHARED)
+    assert ev.triggered
+    assert lm.holders("A") == {"p1": LockMode.EXCLUSIVE}

@@ -1,0 +1,99 @@
+"""Unit tests for Store and Record."""
+
+import pytest
+
+from repro.db import DuplicateItem, NegativeValue, Record, Store, UnknownItem
+
+
+class TestRecord:
+    def test_apply_bumps_version_and_time(self):
+        rec = Record("A", 10)
+        assert rec.apply(5, now=3.0) == 15
+        assert rec.version == 1 and rec.updated_at == 3.0
+
+    def test_set_overwrites(self):
+        rec = Record("A", 10)
+        rec.set(99, now=1.0)
+        assert rec.value == 99 and rec.version == 1
+
+    def test_copy_is_independent(self):
+        rec = Record("A", 10)
+        dup = rec.copy()
+        rec.apply(1)
+        assert dup.value == 10 and dup.version == 0
+
+    def test_str(self):
+        assert str(Record("A", 10)) == "A=10 (v0)"
+
+
+class TestStore:
+    def test_insert_and_value(self):
+        s = Store("s0")
+        s.insert("A", 100)
+        assert s.value("A") == 100
+        assert "A" in s and len(s) == 1
+
+    def test_duplicate_insert_rejected(self):
+        s = Store()
+        s.insert("A", 1)
+        with pytest.raises(DuplicateItem):
+            s.insert("A", 2)
+
+    def test_unknown_item(self):
+        s = Store()
+        with pytest.raises(UnknownItem):
+            s.value("ghost")
+        with pytest.raises(UnknownItem):
+            s.apply_delta("ghost", 1)
+        with pytest.raises(UnknownItem):
+            s.drop("ghost")
+
+    def test_apply_delta(self):
+        s = Store()
+        s.insert("A", 100)
+        assert s.apply_delta("A", -30, now=2.0) == 70
+        assert s.record("A").version == 1
+        assert s.mutations == 1
+
+    def test_negative_guard(self):
+        s = Store()
+        s.insert("A", 10)
+        with pytest.raises(NegativeValue):
+            s.apply_delta("A", -11)
+        assert s.value("A") == 10  # unchanged
+
+    def test_negative_insert_guard(self):
+        with pytest.raises(NegativeValue):
+            Store().insert("A", -5)
+
+    def test_allow_negative_mode(self):
+        s = Store(allow_negative=True)
+        s.insert("A", 0)
+        assert s.apply_delta("A", -5) == -5
+
+    def test_set_value_guard(self):
+        s = Store()
+        s.insert("A", 10)
+        with pytest.raises(NegativeValue):
+            s.set_value("A", -1)
+        s.set_value("A", 50)
+        assert s.value("A") == 50
+
+    def test_items_order_and_as_dict(self):
+        s = Store()
+        s.insert("B", 2)
+        s.insert("A", 1)
+        assert list(s.items()) == [("B", 2), ("A", 1)]
+        assert s.as_dict() == {"B": 2, "A": 1}
+
+    def test_total(self):
+        s = Store()
+        s.insert("A", 10)
+        s.insert("B", 32)
+        assert s.total() == 42
+
+    def test_drop(self):
+        s = Store()
+        s.insert("A", 1)
+        s.drop("A")
+        assert "A" not in s

@@ -1,0 +1,212 @@
+"""Unit tests for WAL, transactions, recovery, snapshots."""
+
+import pytest
+
+from repro.db import (
+    RecoveryReport,
+    Store,
+    TransactionClosed,
+    TransactionManager,
+    TxnState,
+    WalOp,
+    WriteAheadLog,
+    diff_stores,
+    recover,
+    restore_snapshot,
+    stores_equal,
+    take_snapshot,
+)
+
+
+@pytest.fixture
+def store():
+    s = Store("s0")
+    s.insert("A", 100)
+    s.insert("B", 50)
+    return s
+
+
+@pytest.fixture
+def tm(store):
+    return TransactionManager(store)
+
+
+class TestTransaction:
+    def test_commit_applies_deltas(self, store, tm):
+        txn = tm.begin()
+        txn.apply("A", -30)
+        txn.apply("B", 10)
+        txn.commit()
+        assert store.value("A") == 70 and store.value("B") == 60
+        assert txn.state is TxnState.COMMITTED
+        assert tm.committed == 1
+
+    def test_abort_compensates_in_reverse(self, store, tm):
+        txn = tm.begin()
+        txn.apply("A", -30)
+        txn.apply("A", -20)
+        txn.abort()
+        assert store.value("A") == 100
+        assert txn.state is TxnState.ABORTED
+        assert tm.aborted == 1
+
+    def test_closed_transaction_rejects_operations(self, tm):
+        txn = tm.begin()
+        txn.commit()
+        with pytest.raises(TransactionClosed):
+            txn.apply("A", 1)
+        with pytest.raises(TransactionClosed):
+            txn.commit()
+        with pytest.raises(TransactionClosed):
+            txn.abort()
+        with pytest.raises(TransactionClosed):
+            txn.read("A")
+
+    def test_read_through_transaction(self, store, tm):
+        txn = tm.begin()
+        txn.apply("A", -1)
+        assert txn.read("A") == 99
+
+    def test_atomic_context_commits(self, store, tm):
+        with tm.atomic() as txn:
+            txn.apply("A", -5)
+        assert store.value("A") == 95
+        assert tm.committed == 1
+
+    def test_atomic_context_aborts_on_error(self, store, tm):
+        with pytest.raises(RuntimeError):
+            with tm.atomic() as txn:
+                txn.apply("A", -5)
+                raise RuntimeError("fail inside")
+        assert store.value("A") == 100
+        assert tm.aborted == 1
+
+    def test_wal_entries_ordering(self, tm):
+        txn = tm.begin()
+        txn.apply("A", -3)
+        txn.commit()
+        ops = [e.op for e in tm.wal]
+        assert ops == [WalOp.BEGIN, WalOp.DELTA, WalOp.COMMIT]
+
+    def test_abort_writes_compensation_to_wal(self, tm):
+        txn = tm.begin()
+        txn.apply("A", -3)
+        txn.abort()
+        deltas = [e.delta for e in tm.wal if e.op is WalOp.DELTA]
+        assert deltas == [-3, 3]
+
+    def test_clock_stamps_updates(self, store):
+        t = [0.0]
+        tm = TransactionManager(store, clock=lambda: t[0])
+        txn = tm.begin()
+        t[0] = 4.5
+        txn.apply("A", 1)
+        assert store.record("A").updated_at == 4.5
+
+
+class TestWal:
+    def test_in_flight_tracking(self):
+        wal = WriteAheadLog()
+        wal.log_begin(1)
+        wal.log_begin(2)
+        wal.log_commit(1)
+        assert wal.in_flight() == {2}
+
+    def test_entries_for(self):
+        wal = WriteAheadLog()
+        wal.log_begin(1)
+        wal.log_delta(1, "A", 5)
+        wal.log_begin(2)
+        assert len(wal.entries_for(1)) == 2
+
+    def test_truncate_keeps_in_flight(self):
+        wal = WriteAheadLog()
+        wal.log_begin(1)
+        wal.log_delta(1, "A", 5)
+        wal.log_commit(1)
+        wal.log_begin(2)
+        wal.log_delta(2, "B", 1)
+        removed = wal.truncate()
+        assert removed == 3
+        assert [e.txn_id for e in wal] == [2, 2]
+
+    def test_lsn_monotonic(self):
+        wal = WriteAheadLog()
+        e1 = wal.log_begin(1)
+        e2 = wal.log_commit(1)
+        assert e2.lsn == e1.lsn + 1
+
+    def test_str(self):
+        wal = WriteAheadLog()
+        e = wal.log_delta(7, "A", -2)
+        assert "txn=7" in str(e) and "A-2" in str(e)
+
+
+class TestRecovery:
+    def test_clean_recovery_noop(self, store, tm):
+        with tm.atomic() as txn:
+            txn.apply("A", -10)
+        report = recover(store, tm.wal)
+        assert report.clean and store.value("A") == 90
+
+    def test_recovery_compensates_in_flight(self, store, tm):
+        committed = tm.begin()
+        committed.apply("A", -10)
+        committed.commit()
+        crashed = tm.begin()  # never finishes
+        crashed.apply("A", -25)
+        crashed.apply("B", 5)
+        report = recover(store, tm.wal)
+        assert report.recovered_txns == [crashed.txn_id]
+        assert report.compensations_applied == 2
+        assert store.value("A") == 90 and store.value("B") == 50
+
+    def test_recovery_idempotent(self, store, tm):
+        txn = tm.begin()
+        txn.apply("A", -25)
+        recover(store, tm.wal)
+        second = recover(store, tm.wal)
+        assert second.clean
+        assert store.value("A") == 100
+
+    def test_multiple_in_flight(self, store, tm):
+        t1, t2 = tm.begin(), tm.begin()
+        t1.apply("A", -10)
+        t2.apply("A", -20)
+        t1.apply("B", 7)
+        report = recover(store, tm.wal)
+        assert sorted(report.recovered_txns) == [t1.txn_id, t2.txn_id]
+        assert store.value("A") == 100 and store.value("B") == 50
+
+
+class TestSnapshot:
+    def test_take_and_restore(self, store):
+        snap = take_snapshot(store, now=1.0)
+        store.apply_delta("A", -40)
+        restore_snapshot(store, snap, now=2.0)
+        assert store.value("A") == 100
+
+    def test_restore_item_mismatch_rejected(self, store):
+        snap = take_snapshot(store)
+        store.insert("C", 1)
+        with pytest.raises(ValueError, match="extra"):
+            restore_snapshot(store, snap)
+
+    def test_snapshot_mapping_protocol(self, store):
+        snap = take_snapshot(store)
+        assert snap["A"] == 100 and "B" in snap and len(snap) == 2
+
+    def test_diff_and_equal(self, store):
+        other = Store("s1")
+        other.insert("A", 100)
+        other.insert("B", 50)
+        assert stores_equal(store, other)
+        other.apply_delta("B", 1)
+        assert diff_stores(store, other) == {"B": (50, 51)}
+        assert not stores_equal(store, other)
+
+    def test_diff_missing_items(self, store):
+        other = Store("s1")
+        other.insert("A", 100)
+        d = diff_stores(store, other)
+        assert set(d) == {"B"}

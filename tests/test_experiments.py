@@ -1,0 +1,163 @@
+"""Tests for the experiment harness (small sizes; benches run the real ones)."""
+
+import pytest
+
+from repro.experiments import (
+    Checkpoint,
+    checkpoint_schedule,
+    make_paper_trace,
+    run_counted,
+    run_fault_experiment,
+    run_fig6,
+    run_latency_experiment,
+    run_table1,
+)
+from repro.experiments.sweep import sweep_items, sweep_rows, SWEEP_HEADERS
+from repro.cluster import DistributedSystem, paper_config
+from repro.metrics.correspondence import is_monotonic
+
+
+class TestCheckpointSchedule:
+    def test_regular_schedule(self):
+        assert checkpoint_schedule(100, 25) == [25, 50, 75, 100]
+
+    def test_uneven_includes_final(self):
+        assert checkpoint_schedule(105, 25) == [25, 50, 75, 100, 105]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            checkpoint_schedule(0, 10)
+        with pytest.raises(ValueError):
+            checkpoint_schedule(10, 0)
+
+
+class TestRunCounted:
+    def test_checkpoints_sampled(self):
+        trace = make_paper_trace(60, seed=0, n_items=5)
+        system = DistributedSystem.build(paper_config(n_items=5, seed=0))
+        run = run_counted(system, trace, "x", checkpoints=[20, 40, 60])
+        assert [cp.updates for cp in run.checkpoints] == [20, 40, 60]
+        assert len(run.results) == 60
+        assert isinstance(run.final(), Checkpoint)
+
+    def test_checkpoint_beyond_trace_rejected(self):
+        trace = make_paper_trace(10, seed=0, n_items=5)
+        system = DistributedSystem.build(paper_config(n_items=5, seed=0))
+        with pytest.raises(ValueError):
+            run_counted(system, trace, "x", checkpoints=[11])
+
+    def test_series_conversion(self):
+        trace = make_paper_trace(30, seed=0, n_items=5)
+        system = DistributedSystem.build(paper_config(n_items=5, seed=0))
+        run = run_counted(system, trace, "lbl", checkpoints=[15, 30])
+        series = run.series()
+        assert series.label == "lbl"
+        assert len(series) == 2
+
+
+class TestFig6:
+    def test_structure_and_claims_small(self):
+        result = run_fig6(n_updates=300, seed=0, n_items=10)
+        assert result.reduction > 0.4
+        assert result.local_ratio > 0.5
+        assert is_monotonic(result.proposal_series)
+        assert result.conventional_series.slope() == 1.0
+        assert "Fig. 6" in result.render()
+
+    def test_same_seed_reproduces(self):
+        a = run_fig6(n_updates=200, seed=3, n_items=10)
+        b = run_fig6(n_updates=200, seed=3, n_items=10)
+        assert a.proposal_series.points == b.proposal_series.points
+        assert a.conventional_series.points == b.conventional_series.points
+
+    def test_different_seeds_differ(self):
+        a = run_fig6(n_updates=200, seed=3, n_items=10)
+        b = run_fig6(n_updates=200, seed=4, n_items=10)
+        assert a.proposal_series.points != b.proposal_series.points
+
+
+class TestTable1:
+    def test_structure_and_claims_small(self):
+        result = run_table1(n_updates=400, seed=0, n_items=10)
+        report = result.assurance()
+        assert report.retailer_fairness > 0.9
+        final = result.proposal.final()
+        assert set(final.per_site) == {"site0", "site1", "site2"}
+        assert "Table 1" in result.render()
+
+    def test_growth_below_conventional(self):
+        result = run_table1(n_updates=400, seed=0, n_items=10)
+        for retailer in result.retailers:
+            assert result.per_site_growth(retailer) < 0.5
+
+
+class TestMakePaperTrace:
+    def test_balanced_defaults_for_more_retailers(self):
+        trace = make_paper_trace(100, seed=0, n_items=5, n_retailers=4)
+        maker_deltas = [e.delta for e in trace if e.site == "site0"]
+        # increase cap defaults to 4 x 10% = 40% of initial (100) = 40
+        assert max(maker_deltas) > 20
+
+    def test_trace_is_deterministic(self):
+        a = make_paper_trace(50, seed=1, n_items=5)
+        b = make_paper_trace(50, seed=1, n_items=5)
+        assert a == b
+
+
+class TestFaultExperiment:
+    def test_availability_ordering(self):
+        result = run_fault_experiment(
+            n_updates=240, fault_start=150.0, fault_end=500.0, seed=0
+        )
+        prop = result.retailer_availability_during_fault(
+            "proposal", ["site1", "site2"]
+        )
+        conv = result.retailer_availability_during_fault(
+            "centralized", ["site1", "site2"]
+        )
+        assert prop > conv
+        assert conv == 0.0
+        assert len(result.rows()) == 6
+
+
+class TestLatencyExperiment:
+    def test_proposal_faster(self):
+        result = run_latency_experiment(n_updates=240, seed=0)
+        assert result.summaries["proposal"].mean < result.summaries[
+            "centralized"
+        ].mean
+        assert result.speedup() > 2.0
+
+
+class TestSweep:
+    def test_items_sweep_rows(self):
+        points = sweep_items(item_counts=(5, 20), n_updates=200, seed=0)
+        rows = sweep_rows(points)
+        assert len(rows) == 2
+        assert len(rows[0]) == len(SWEEP_HEADERS)
+        assert points[1].reduction >= points[0].reduction - 0.1
+
+
+class TestPartitionExperiment:
+    def test_partition_better_than_crash_for_retailers(self):
+        from repro.experiments import run_partition_experiment
+
+        part = run_partition_experiment(
+            n_updates=240, fault_start=150.0, fault_end=500.0, seed=0
+        )
+        crash = run_fault_experiment(
+            n_updates=240, fault_start=150.0, fault_end=500.0, seed=0
+        )
+        retailers = ["site1", "site2"]
+        part_avail = part.retailer_availability_during_fault(
+            "proposal", retailers
+        )
+        crash_avail = crash.retailer_availability_during_fault(
+            "proposal", retailers
+        )
+        # With the maker partitioned (not crashed) the retailers can
+        # still trade AV with each other.
+        assert part_avail >= crash_avail
+        assert part.retailer_availability_during_fault(
+            "centralized", retailers
+        ) == 0.0

@@ -1,0 +1,240 @@
+"""Unit tests for the metrics package."""
+
+import pytest
+
+from repro.core.types import (
+    UpdateKind,
+    UpdateOutcome,
+    UpdateRequest,
+    UpdateResult,
+)
+from repro.metrics import (
+    AvailabilityTracker,
+    CorrespondenceSeries,
+    GlobalLedger,
+    MetricsCollector,
+    csv_table,
+    is_monotonic,
+    reduction_ratio,
+    series_block,
+    summarize,
+    text_table,
+)
+
+
+def make_result(
+    site="site1",
+    item="A",
+    delta=-5.0,
+    kind=UpdateKind.DELAY,
+    outcome=UpdateOutcome.COMMITTED,
+    local=False,
+    issued=0.0,
+    finished=1.0,
+    av_requests=0,
+):
+    return UpdateResult(
+        request=UpdateRequest(site=site, item=item, delta=delta, issued_at=issued),
+        kind=kind,
+        outcome=outcome,
+        local_only=local,
+        finished_at=finished,
+        av_requests=av_requests,
+    )
+
+
+class TestGlobalLedger:
+    def test_true_value_tracks_deltas(self):
+        ledger = GlobalLedger()
+        ledger.set_initial("A", 100.0)
+        ledger.record_delta("A", -30)
+        ledger.record_delta("A", +5)
+        assert ledger.true_value("A") == 75.0
+        assert ledger.initial_value("A") == 100.0
+        assert ledger.committed_deltas == 2
+
+    def test_unknown_item_rejected(self):
+        with pytest.raises(KeyError):
+            GlobalLedger().record_delta("ghost", 1)
+
+    def test_total_and_views(self):
+        ledger = GlobalLedger()
+        ledger.set_initial("A", 10.0)
+        ledger.set_initial("B", 20.0)
+        assert ledger.total() == 30.0
+        assert "A" in ledger and len(ledger) == 2
+        assert set(ledger.items()) == {"A", "B"}
+
+
+class TestMetricsCollector:
+    def test_record_aggregates(self):
+        c = MetricsCollector()
+        c.ledger.set_initial("A", 100.0)
+        c.record(make_result(local=True))
+        c.record(make_result(outcome=UpdateOutcome.REJECTED))
+        c.record(make_result(kind=UpdateKind.IMMEDIATE))
+        assert c.total == 3
+        assert c.committed == 2
+        assert c.rejected == 1
+        assert c.delay_updates == 2
+        assert c.local_delay_updates == 1
+        assert c.local_ratio == 0.5
+        # only committed deltas hit the ledger
+        assert c.ledger.true_value("A") == 90.0
+
+    def test_count_filters(self):
+        c = MetricsCollector()
+        c.ledger.set_initial("A", 100.0)
+        c.record(make_result())
+        c.record(make_result(kind=UpdateKind.IMMEDIATE))
+        assert c.count(kind=UpdateKind.DELAY) == 1
+        assert c.count(outcome=UpdateOutcome.COMMITTED) == 2
+        assert c.count(kind=UpdateKind.DELAY, outcome=UpdateOutcome.REJECTED) == 0
+
+    def test_latencies_filtering(self):
+        c = MetricsCollector()
+        c.ledger.set_initial("A", 100.0)
+        c.record(make_result(issued=0, finished=4))
+        c.record(make_result(site="site2", issued=0, finished=2))
+        c.record(make_result(outcome=UpdateOutcome.REJECTED, issued=0, finished=9))
+        assert c.latencies() == [4.0, 2.0]
+        assert c.latencies(site="site2") == [2.0]
+        assert c.latencies(committed_only=False) == [4.0, 2.0, 9.0]
+
+    def test_av_requests_total(self):
+        c = MetricsCollector()
+        c.ledger.set_initial("A", 100.0)
+        c.record(make_result(av_requests=3))
+        c.record(make_result(av_requests=2))
+        assert c.av_requests_total() == 5
+
+    def test_empty_local_ratio(self):
+        assert MetricsCollector().local_ratio == 1.0
+
+
+class TestCorrespondenceSeries:
+    def test_sample_and_views(self):
+        s = CorrespondenceSeries("x")
+        s.sample(10, 5.0)
+        s.sample(20, 7.0)
+        assert s.updates == [10, 20]
+        assert s.correspondences == [5.0, 7.0]
+        assert s.final() == (20, 7.0)
+        assert s.slope() == 0.35
+        assert len(s) == 2
+
+    def test_nondecreasing_updates_enforced(self):
+        s = CorrespondenceSeries("x")
+        s.sample(10, 5.0)
+        with pytest.raises(ValueError):
+            s.sample(5, 6.0)
+
+    def test_final_on_empty(self):
+        with pytest.raises(ValueError):
+            CorrespondenceSeries("x").final()
+
+    def test_reduction_ratio(self):
+        prop, conv = CorrespondenceSeries("p"), CorrespondenceSeries("c")
+        prop.sample(100, 25.0)
+        conv.sample(100, 100.0)
+        assert reduction_ratio(prop, conv) == 0.75
+
+    def test_reduction_ratio_zero_baseline(self):
+        prop, conv = CorrespondenceSeries("p"), CorrespondenceSeries("c")
+        prop.sample(10, 0.0)
+        conv.sample(10, 0.0)
+        assert reduction_ratio(prop, conv) == 0.0
+
+    def test_is_monotonic(self):
+        s = CorrespondenceSeries("x")
+        s.sample(1, 1.0)
+        s.sample(2, 2.0)
+        assert is_monotonic(s)
+        s.sample(3, 1.5)
+        assert not is_monotonic(s)
+
+
+class TestLatencySummary:
+    def test_summary_values(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == 2.5
+        assert s.p50 == 2.5
+        assert s.max == 4.0
+
+    def test_empty(self):
+        assert summarize([]).count == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([-1.0])
+
+    def test_str(self):
+        assert "p90" in str(summarize([1.0]))
+
+
+class TestAvailabilityTracker:
+    def test_window_classification(self):
+        t = AvailabilityTracker(10.0, 20.0)
+        assert not t.in_fault_window(5)
+        assert t.in_fault_window(10)
+        assert t.in_fault_window(20)
+        assert not t.in_fault_window(21)
+
+    def test_open_window(self):
+        t = AvailabilityTracker(10.0)
+        assert t.in_fault_window(1e9)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            AvailabilityTracker(10.0, 5.0)
+
+    def test_availability_math(self):
+        t = AvailabilityTracker(10.0, 20.0)
+        t.record(make_result(issued=5, finished=6))  # normal, ok
+        t.record(make_result(issued=15, finished=16))  # fault, ok
+        t.record(
+            make_result(
+                issued=16, finished=17, outcome=UpdateOutcome.REJECTED
+            )
+        )  # fault, fail
+        assert t.availability("site1", False) == 1.0
+        assert t.availability("site1", True) == 0.5
+        assert t.stats("site1", True).attempted == 2
+        assert t.sites() == ["site1"]
+
+    def test_silent_site_fully_available(self):
+        t = AvailabilityTracker(0.0)
+        assert t.availability("ghost", True) == 1.0
+
+
+class TestReport:
+    def test_text_table_alignment(self):
+        out = text_table(["a", "long"], [[1, 2.5], [10, 3.0]])
+        lines = out.splitlines()
+        assert lines[0] == "a  | long"
+        assert lines[1] == "---+-----"
+        assert lines[2] == "1  | 2.50"
+        assert lines[3] == "10 | 3"
+
+    def test_text_table_title(self):
+        out = text_table(["a"], [[1]], title="T")
+        assert out.startswith("T\n")
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            text_table(["a", "b"], [[1]])
+
+    def test_csv(self):
+        out = csv_table(["a", "b"], [[1, 2.5]])
+        assert out == "a,b\n1,2.500000"
+
+    def test_csv_comma_rejected(self):
+        with pytest.raises(ValueError):
+            csv_table(["a"], [["x,y"]])
+
+    def test_series_block(self):
+        out = series_block("corr", [1, 2], [3.0, 4.0])
+        assert "corr" in out
+        with pytest.raises(ValueError):
+            series_block("x", [1], [1, 2])

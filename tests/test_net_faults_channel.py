@@ -1,0 +1,95 @@
+"""Direct unit tests for FaultInjector and Channel (no network needed)."""
+
+import numpy as np
+import pytest
+
+from repro.net import Channel, ChannelTable, FaultInjector
+
+
+class TestFaultInjector:
+    def test_crash_recover_idempotent(self):
+        f = FaultInjector()
+        f.crash("a")
+        f.crash("a")
+        assert f.crashes_injected == 1
+        assert f.is_crashed("a")
+        assert f.crashed_sites == frozenset({"a"})
+        f.recover("a")
+        f.recover("a")
+        assert not f.is_crashed("a")
+
+    def test_should_drop_for_crashed_endpoints(self):
+        f = FaultInjector()
+        f.crash("b")
+        assert f.should_drop("a", "b")
+        assert f.should_drop("b", "a")
+        assert not f.should_drop("a", "c")
+        assert f.messages_dropped == 2
+
+    def test_partition_semantics(self):
+        f = FaultInjector()
+        f.partition([["a", "b"], ["c"]])
+        assert f.partitioned
+        assert f.same_partition("a", "b")
+        assert not f.same_partition("a", "c")
+        # unlisted sites share the implicit group
+        assert f.same_partition("x", "y")
+        assert not f.same_partition("a", "x")
+        f.heal()
+        assert not f.partitioned
+        assert f.same_partition("a", "c")
+
+    def test_partition_duplicate_site_rejected(self):
+        f = FaultInjector()
+        with pytest.raises(ValueError):
+            f.partition([["a"], ["a", "b"]])
+
+    def test_drop_probability_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjector(drop_probability=1.5)
+
+    def test_drop_probability_requires_rng(self):
+        f = FaultInjector(drop_probability=0.5)  # no rng
+        with pytest.raises(RuntimeError):
+            f.should_drop("a", "b")
+
+    def test_drop_probability_statistics(self):
+        f = FaultInjector(rng=np.random.default_rng(0), drop_probability=0.3)
+        drops = sum(f.should_drop("a", "b") for _ in range(1000))
+        assert 230 < drops < 370
+
+    def test_repr(self):
+        f = FaultInjector()
+        f.crash("z")
+        assert "z" in repr(f)
+
+
+class TestChannel:
+    def test_delivery_time_plain(self):
+        c = Channel("a", "b")
+        assert c.delivery_time(now=10.0, latency=2.0) == 12.0
+        assert c.delivered == 1
+
+    def test_fifo_clamps_reordering(self):
+        c = Channel("a", "b", fifo=True)
+        first = c.delivery_time(now=0.0, latency=10.0)
+        second = c.delivery_time(now=1.0, latency=2.0)  # would arrive at 3
+        assert first == 10.0 and second == 10.0
+
+    def test_non_fifo_allows_reordering(self):
+        c = Channel("a", "b", fifo=False)
+        c.delivery_time(now=0.0, latency=10.0)
+        assert c.delivery_time(now=1.0, latency=2.0) == 3.0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            Channel("a", "b").delivery_time(0.0, -1.0)
+
+    def test_table_lazily_creates_directed_channels(self):
+        table = ChannelTable()
+        ab = table.get("a", "b")
+        ba = table.get("b", "a")
+        assert ab is not ba
+        assert table.get("a", "b") is ab
+        assert len(table) == 2
+        assert set(c.src for c in table) == {"a", "b"}

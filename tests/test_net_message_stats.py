@@ -1,0 +1,125 @@
+"""Unit tests for Message, NetworkStats, and latency models."""
+
+import numpy as np
+import pytest
+
+from repro.net import (
+    ConstantLatency,
+    LognormalLatency,
+    Message,
+    NetworkStats,
+    PairwiseLatency,
+    UniformLatency,
+    correspondences,
+)
+
+
+class TestMessage:
+    def test_unique_ids(self):
+        a = Message("s0", "s1", "av.request")
+        b = Message("s0", "s1", "av.request")
+        assert a.msg_id != b.msg_id
+
+    def test_default_tag_from_kind_prefix(self):
+        assert Message("a", "b", "av.request").tag == "av"
+        assert Message("a", "b", "ping").tag == "ping"
+
+    def test_explicit_tag_kept(self):
+        assert Message("a", "b", "av.request", tag="delay").tag == "delay"
+
+    def test_is_reply(self):
+        req = Message("a", "b", "x", expects_reply=True)
+        rep = Message("b", "a", "x.reply", reply_to=req.msg_id)
+        assert not req.is_reply and rep.is_reply
+
+    def test_str_contains_route(self):
+        m = Message("a", "b", "x")
+        assert "a->b" in str(m)
+
+
+class TestNetworkStats:
+    def test_correspondence_is_half_messages(self):
+        assert correspondences(10) == 5.0
+        stats = NetworkStats()
+        for _ in range(4):
+            stats.record_send(Message("a", "b", "k"))
+        assert stats.correspondences_total == 2.0
+
+    def test_per_site_counts_sender_and_receiver(self):
+        stats = NetworkStats()
+        stats.record_send(Message("a", "b", "k"))
+        assert stats.by_site["a"] == 1 and stats.by_site["b"] == 1
+        assert stats.correspondences_for_site("a") == 0.5
+
+    def test_tag_accounting(self):
+        stats = NetworkStats()
+        stats.record_send(Message("a", "b", "av.request"))
+        stats.record_send(Message("b", "a", "av.request.reply", tag="av"))
+        stats.record_send(Message("a", "b", "imm.lock"))
+        assert stats.by_tag["av"] == 2 and stats.by_tag["imm"] == 1
+        assert stats.correspondences_for_tag("av") == 1.0
+
+    def test_snapshot_diff(self):
+        stats = NetworkStats()
+        stats.record_send(Message("a", "b", "k"))
+        snap = stats.snapshot()
+        stats.record_send(Message("a", "b", "k"))
+        stats.record_send(Message("b", "a", "k"))
+        delta = stats.diff(snap)
+        assert delta.sent_total == 2
+        assert delta.by_sender["a"] == 1 and delta.by_sender["b"] == 1
+        # snapshot unchanged by later sends
+        assert snap.sent_total == 1
+
+    def test_reset(self):
+        stats = NetworkStats()
+        stats.record_send(Message("a", "b", "k"))
+        stats.record_drop(Message("a", "b", "k"))
+        stats.reset()
+        assert stats.sent_total == 0 and stats.dropped_total == 0
+        assert not stats.by_site
+
+    def test_str(self):
+        stats = NetworkStats()
+        stats.record_send(Message("a", "b", "av.x"))
+        assert "av=1" in str(stats)
+
+
+class TestLatencyModels:
+    def setup_method(self):
+        self.rng = np.random.default_rng(0)
+
+    def test_constant(self):
+        m = ConstantLatency(2.5)
+        assert m.sample("a", "b", self.rng) == 2.5
+        with pytest.raises(ValueError):
+            ConstantLatency(-1)
+
+    def test_uniform_bounds(self):
+        m = UniformLatency(1.0, 2.0)
+        samples = [m.sample("a", "b", self.rng) for _ in range(200)]
+        assert all(1.0 <= s <= 2.0 for s in samples)
+        assert max(samples) > min(samples)
+        with pytest.raises(ValueError):
+            UniformLatency(2.0, 1.0)
+        with pytest.raises(ValueError):
+            UniformLatency(-1.0, 1.0)
+
+    def test_lognormal_positive(self):
+        m = LognormalLatency(0.0, 1.0)
+        assert all(m.sample("a", "b", self.rng) > 0 for _ in range(100))
+        with pytest.raises(ValueError):
+            LognormalLatency(0.0, -1.0)
+
+    def test_pairwise_override_and_symmetry(self):
+        m = PairwiseLatency(ConstantLatency(1.0))
+        m.set("maker", "r1", ConstantLatency(5.0))
+        assert m.sample("maker", "r1", self.rng) == 5.0
+        assert m.sample("r1", "maker", self.rng) == 5.0  # symmetric fallback
+        assert m.sample("r1", "r2", self.rng) == 1.0
+
+    def test_pairwise_asymmetric(self):
+        m = PairwiseLatency(ConstantLatency(1.0), symmetric=False)
+        m.set("a", "b", ConstantLatency(9.0))
+        assert m.sample("a", "b", self.rng) == 9.0
+        assert m.sample("b", "a", self.rng) == 1.0

@@ -1,0 +1,88 @@
+"""Property-based tests for the database substrate (DESIGN.md §7.3)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Store, TransactionManager, recover, take_snapshot
+
+# Deltas that keep values in safe integer territory.
+deltas = st.integers(min_value=-50, max_value=50)
+
+
+def fresh_store(items=("A", "B"), initial=1000):
+    store = Store("prop", allow_negative=True)
+    for item in items:
+        store.insert(item, initial)
+    return store
+
+
+@given(st.lists(st.tuples(st.sampled_from(["A", "B"]), deltas), max_size=30))
+def test_abort_always_restores_state(ops):
+    """Invariant 3: an aborted transaction leaves values untouched."""
+    store = fresh_store()
+    tm = TransactionManager(store)
+    before = store.as_dict()
+    txn = tm.begin()
+    for item, delta in ops:
+        txn.apply(item, delta, force=True)
+    txn.abort()
+    assert store.as_dict() == before
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.booleans(),  # commit?
+            st.lists(st.tuples(st.sampled_from(["A", "B"]), deltas), max_size=8),
+        ),
+        max_size=10,
+    )
+)
+def test_recovery_keeps_exactly_committed_work(txn_specs):
+    """Invariant 3': crash recovery == replay of committed deltas only."""
+    store = fresh_store()
+    tm = TransactionManager(store)
+    expected = store.as_dict()
+
+    open_txns = []
+    for commit, ops in txn_specs:
+        txn = tm.begin()
+        for item, delta in ops:
+            txn.apply(item, delta, force=True)
+        if commit:
+            txn.commit()
+            for item, delta in ops:
+                expected[item] += delta
+        else:
+            open_txns.append(txn)  # simulated crash: never finished
+
+    recover(store, tm.wal)
+    assert store.as_dict() == expected
+    # Second recovery is a no-op (idempotence).
+    report = recover(store, tm.wal)
+    assert report.clean
+
+
+@given(st.lists(st.tuples(st.sampled_from(["A", "B"]), deltas), max_size=30))
+def test_commit_equals_plain_application(ops):
+    """Committed transactions behave exactly like direct applies."""
+    store = fresh_store()
+    tm = TransactionManager(store)
+    mirror = store.as_dict()
+    with tm.atomic() as txn:
+        for item, delta in ops:
+            txn.apply(item, delta, force=True)
+            mirror[item] += delta
+    assert store.as_dict() == mirror
+
+
+@given(st.lists(st.tuples(st.sampled_from(["A", "B"]), deltas), max_size=20))
+def test_snapshot_restore_round_trip(ops):
+    store = fresh_store()
+    snap = take_snapshot(store)
+    for item, delta in ops:
+        store.apply_delta(item, delta, force=True)
+    from repro.db import restore_snapshot
+
+    restore_snapshot(store, snap)
+    assert store.as_dict() == snap.values

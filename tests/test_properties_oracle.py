@@ -1,0 +1,72 @@
+"""Oracle test: the AV mechanism is *exact* about global availability.
+
+Closed-loop (one update at a time), integral volumes, generous retry
+budget: a decrement must commit iff the system-wide AV pool covers it —
+no site ever knows the global number, yet the gathering protocol
+(take-all + believed-richest + ceil-half grants + progress-gated
+rounds) discovers it exactly. A shadow accounting of the global pool is
+the oracle; hypothesis drives arbitrary update sequences against it.
+
+Why the protocol is exact here: every full pass over the peers either
+reaches the target or collects ceil(half) of every nonempty peer — an
+integral amount ≥ 1 — so passes repeat while volume remains; the only
+way to run out of passes with progress still happening would need more
+rounds than log2(pool), far below the budget we configure.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import build_paper_system
+from repro.core import UpdateOutcome
+
+SITES = ["site0", "site1", "site2"]
+ITEMS = ["item0", "item1"]
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(SITES),
+        st.sampled_from(ITEMS),
+        st.integers(min_value=-60, max_value=40),
+    ),
+    max_size=30,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops, st.integers(min_value=0, max_value=100))
+def test_commit_iff_global_av_covers(op_list, seed):
+    system = build_paper_system(
+        n_items=2,
+        initial_stock=60.0,
+        seed=seed,
+        max_rounds=64,  # generous: exactness needs ~log2(pool) passes
+    )
+    # Shadow of the global AV pool per item (the oracle's whole state).
+    pool = {item: 60.0 for item in ITEMS}
+
+    def driver(env):
+        for site, item, delta in op_list:
+            result = yield system.update(site, item, float(delta))
+            if delta >= 0:
+                assert result.outcome is UpdateOutcome.COMMITTED
+                pool[item] += delta
+            elif -delta <= pool[item]:
+                assert result.outcome is UpdateOutcome.COMMITTED, (
+                    f"false reject: need {-delta}, pool {pool[item]}"
+                )
+                pool[item] += delta
+            else:
+                assert result.outcome is UpdateOutcome.REJECTED, (
+                    f"false commit: need {-delta}, pool {pool[item]}"
+                )
+        return True
+
+    proc = system.env.process(driver(system.env))
+    system.run()
+    assert proc.ok, proc.value
+
+    # The shadow pool and the real distributed pool agree exactly.
+    for item in ITEMS:
+        assert system.av_total(item) == pool[item]
+        assert system.collector.ledger.true_value(item) == pool[item]

@@ -1,0 +1,138 @@
+"""Unit tests for event primitives: succeed/fail, composites, values."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AlreadyTriggered,
+    AnyOf,
+    ConditionValue,
+    Environment,
+    Event,
+)
+
+
+def test_pending_event_has_no_outcome():
+    ev = Event(Environment())
+    assert not ev.triggered
+    with pytest.raises(AttributeError):
+        ev.value
+    with pytest.raises(AttributeError):
+        ev.ok
+
+
+def test_succeed_carries_value():
+    env = Environment()
+    ev = env.event().succeed(42)
+    assert ev.triggered and ev.ok and ev.value == 42
+
+
+def test_double_trigger_rejected():
+    env = Environment()
+    ev = env.event().succeed()
+    with pytest.raises(AlreadyTriggered):
+        ev.succeed()
+    with pytest.raises(AlreadyTriggered):
+        ev.fail(ValueError())
+
+
+def test_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_timeout_value_passthrough():
+    env = Environment()
+
+    def proc(env):
+        got = yield env.timeout(1, value="payload")
+        return got
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == "payload"
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+
+    def proc(env):
+        t1, t2, t3 = env.timeout(1, "a"), env.timeout(3, "c"), env.timeout(2, "b")
+        result = yield env.all_of([t1, t2, t3])
+        return (env.now, [result[e] for e in (t1, t2, t3)])
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (3, ["a", "c", "b"])
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+
+    def proc(env):
+        slow, fast = env.timeout(10, "slow"), env.timeout(1, "fast")
+        result = yield env.any_of([slow, fast])
+        return (env.now, fast in result, slow in result)
+
+    p = env.process(proc(env))
+    env.run(until=p)
+    assert p.value == (1, True, False)
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+    cond = AllOf(env, [])
+    assert cond.triggered
+    assert cond.value == ConditionValue([])
+
+
+def test_any_of_empty_fires_immediately():
+    env = Environment()
+    assert AnyOf(env, []).triggered
+
+
+def test_condition_fails_if_child_fails():
+    env = Environment()
+
+    def proc(env):
+        bad = env.event()
+        bad.fail(ValueError("child failed"))
+        try:
+            yield env.all_of([bad, env.timeout(5)])
+        except ValueError as exc:
+            return str(exc)
+
+    p = env.process(proc(env))
+    env.run(until=p)
+    assert p.value == "child failed"
+
+
+def test_condition_rejects_foreign_environment():
+    env1, env2 = Environment(), Environment()
+    with pytest.raises(ValueError):
+        AllOf(env1, [env2.timeout(1)])
+
+
+def test_condition_value_mapping_protocol():
+    env = Environment()
+    a, b = env.event().succeed(1), env.event().succeed(2)
+    cv = ConditionValue([a, b])
+    assert cv[a] == 1 and cv[b] == 2
+    assert list(cv.keys()) == [a, b]
+    assert list(cv.values()) == [1, 2]
+    assert dict(cv.items()) == {a: 1, b: 2}
+    assert cv == {a: 1, b: 2}
+    assert cv.todict() == {a: 1, b: 2}
+    other = env.event().succeed(3)
+    with pytest.raises(KeyError):
+        cv[other]
+
+
+def test_all_of_with_already_processed_events():
+    env = Environment()
+    done = env.event().succeed("x")
+    env.run()  # process `done`
+    cond = env.all_of([done])
+    env.run()
+    assert cond.triggered and cond.value[done] == "x"

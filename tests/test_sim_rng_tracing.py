@@ -1,0 +1,98 @@
+"""Unit tests for RNG streams and the tracer."""
+
+import pytest
+
+from repro.sim import RngRegistry, TraceRecord, Tracer, NullTracer
+
+
+class TestRngRegistry:
+    def test_same_name_returns_same_stream(self):
+        rngs = RngRegistry(1)
+        assert rngs.stream("a") is rngs.stream("a")
+
+    def test_streams_independent_of_request_order(self):
+        r1 = RngRegistry(7)
+        r2 = RngRegistry(7)
+        a1 = r1.stream("a")
+        _ = r1.stream("b")
+        b2 = r2.stream("b")
+        a2 = r2.stream("a")
+        assert a1.integers(0, 1000, 10).tolist() == a2.integers(0, 1000, 10).tolist()
+        assert r1.stream("b").integers(0, 1000, 10).tolist() == b2.integers(
+            0, 1000, 10
+        ).tolist()
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(1).stream("x").integers(0, 10**9, 10).tolist()
+        b = RngRegistry(2).stream("x").integers(0, 10**9, 10).tolist()
+        assert a != b
+
+    def test_different_names_differ(self):
+        r = RngRegistry(1)
+        assert (
+            r.stream("x").integers(0, 10**9, 10).tolist()
+            != r.stream("y").integers(0, 10**9, 10).tolist()
+        )
+
+    def test_seed_must_be_int(self):
+        with pytest.raises(TypeError):
+            RngRegistry("abc")
+
+    def test_container_protocol(self):
+        r = RngRegistry(0)
+        assert "x" not in r and len(r) == 0
+        r.stream("x")
+        assert "x" in r and len(r) == 1 and list(r) == ["x"]
+
+
+class TestTracer:
+    def test_emit_and_filter(self):
+        t = Tracer()
+        t.emit(1.0, "msg.send", "site0", {"to": "site1"})
+        t.emit(2.0, "msg.recv", "site1", {"frm": "site0"})
+        t.emit(3.0, "msg.send", "site1", {"to": "site0"})
+        assert len(t) == 3
+        assert len(t.filter(kind="msg.send")) == 2
+        assert len(t.filter(source="site1")) == 2
+        assert len(t.filter(kind="msg.send", source="site1")) == 1
+        assert (
+            len(t.filter(predicate=lambda r: r.time > 1.5)) == 2
+        )
+
+    def test_disabled_tracer_records_nothing(self):
+        t = Tracer(enabled=False)
+        t.emit(1.0, "x", "y")
+        assert len(t) == 0
+
+    def test_null_tracer(self):
+        t = NullTracer()
+        t.emit(1.0, "x", "y")
+        assert len(t) == 0
+
+    def test_max_records_drops_and_counts(self):
+        t = Tracer(max_records=2)
+        for i in range(5):
+            t.emit(float(i), "k", "s")
+        assert len(t) == 2 and t.dropped == 3
+
+    def test_fingerprint_sensitive_to_order_and_content(self):
+        t1, t2, t3 = Tracer(), Tracer(), Tracer()
+        t1.emit(1.0, "a", "s")
+        t1.emit(2.0, "b", "s")
+        t2.emit(2.0, "b", "s")
+        t2.emit(1.0, "a", "s")
+        t3.emit(1.0, "a", "s")
+        t3.emit(2.0, "b", "s")
+        assert t1.fingerprint() == t3.fingerprint()
+        assert t1.fingerprint() != t2.fingerprint()
+
+    def test_clear(self):
+        t = Tracer(max_records=1)
+        t.emit(1.0, "a", "s")
+        t.emit(2.0, "a", "s")
+        t.clear()
+        assert len(t) == 0 and t.dropped == 0
+
+    def test_record_str(self):
+        rec = TraceRecord(1.5, "msg.send", "site0", "x")
+        assert "msg.send" in str(rec) and "site0" in str(rec)

@@ -1,0 +1,229 @@
+"""Unit tests for workload generators, drivers and traces."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import build_paper_system
+from repro.workload import (
+    HotspotWorkload,
+    PaperWorkload,
+    WorkloadEvent,
+    WorkloadTrace,
+    ZipfWorkload,
+    run_closed,
+    run_open,
+    split_by_site,
+)
+
+
+def make_paper(**kw):
+    defaults = dict(
+        maker="site0",
+        retailers=["site1", "site2"],
+        items=["A", "B", "C"],
+        initial_stock=100.0,
+        rng=np.random.default_rng(0),
+    )
+    defaults.update(kw)
+    return PaperWorkload(**defaults)
+
+
+class TestPaperWorkload:
+    def test_roundrobin_site_order(self):
+        events = list(make_paper().events(6))
+        assert [e.site for e in events] == [
+            "site0", "site1", "site2", "site0", "site1", "site2",
+        ]
+
+    def test_maker_increases_retailers_decrease(self):
+        for e in make_paper().events(300):
+            if e.site == "site0":
+                assert 1 <= e.delta <= 20
+            else:
+                assert -10 <= e.delta <= -1
+
+    def test_delta_caps_scale_with_fractions(self):
+        gen = make_paper(increase_fraction=0.5, decrease_fraction=0.02)
+        deltas_maker = [e.delta for e in gen.events(300) if e.site == "site0"]
+        deltas_ret = [e.delta for e in gen.events(300) if e.site != "site0"]
+        assert max(deltas_maker) > 20  # cap now 50
+        assert min(deltas_ret) >= -2
+
+    def test_integer_deltas_default(self):
+        assert all(float(e.delta).is_integer() for e in make_paper().events(50))
+
+    def test_float_deltas_option(self):
+        gen = make_paper(integer_deltas=False)
+        assert any(not float(e.delta).is_integer() for e in gen.events(50))
+
+    def test_random_site_order(self):
+        gen = make_paper(site_order="random", rng=np.random.default_rng(1))
+        sites = {e.site for e in gen.events(100)}
+        assert sites == {"site0", "site1", "site2"}
+
+    def test_deterministic_given_seed(self):
+        a = list(make_paper(rng=np.random.default_rng(7)).events(50))
+        b = list(make_paper(rng=np.random.default_rng(7)).events(50))
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_paper(retailers=[])
+        with pytest.raises(ValueError):
+            make_paper(items=[])
+        with pytest.raises(ValueError):
+            make_paper(site_order="bogus")
+        with pytest.raises(ValueError):
+            make_paper(increase_fraction=0.0)
+
+
+class TestZipfAndHotspot:
+    def test_zipf_skews_item_popularity(self):
+        gen = ZipfWorkload(
+            maker="site0",
+            retailers=["site1"],
+            items=[f"i{k}" for k in range(20)],
+            initial_stock=100.0,
+            rng=np.random.default_rng(0),
+            skew=1.5,
+        )
+        from collections import Counter
+
+        counts = Counter(e.item for e in gen.events(2000))
+        assert counts["i0"] > counts.get("i19", 0) * 2
+
+    def test_zipf_validation(self):
+        with pytest.raises(ValueError):
+            ZipfWorkload(
+                maker="m", retailers=["r"], items=["A"],
+                initial_stock=1.0, rng=np.random.default_rng(0), skew=1.0,
+            )
+
+    def test_hotspot_redirects_hot_site_decrements(self):
+        rng = np.random.default_rng(0)
+        base = make_paper(rng=np.random.default_rng(1))
+        hot = HotspotWorkload(base, "site1", ["A"], hot_fraction=1.0, rng=rng)
+        for e in hot.events(100):
+            if e.site == "site1" and e.delta < 0:
+                assert e.item == "A"
+
+    def test_hotspot_validation(self):
+        with pytest.raises(ValueError):
+            HotspotWorkload(make_paper(), "site1", [], 0.5, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            HotspotWorkload(make_paper(), "site1", ["A"], 2.0, np.random.default_rng(0))
+
+
+class TestTrace:
+    def test_capture_and_replay(self):
+        trace = WorkloadTrace.capture(make_paper(), 20)
+        assert len(trace) == 20
+        assert list(trace.events(20)) == list(trace)
+        assert trace[0].site == "site0"
+
+    def test_replay_beyond_capture_rejected(self):
+        trace = WorkloadTrace.capture(make_paper(), 5)
+        with pytest.raises(ValueError):
+            list(trace.events(6))
+
+    def test_save_load_round_trip(self, tmp_path):
+        trace = WorkloadTrace.capture(make_paper(), 30)
+        path = tmp_path / "trace.tsv"
+        trace.save(path)
+        loaded = WorkloadTrace.load(path)
+        assert loaded == trace
+
+    def test_load_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("site0\tA\n")
+        with pytest.raises(ValueError, match="malformed"):
+            WorkloadTrace.load(path)
+
+    def test_empty_trace_save_load(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        WorkloadTrace([]).save(path)
+        assert len(WorkloadTrace.load(path)) == 0
+
+    def test_split_by_site(self):
+        trace = WorkloadTrace.capture(make_paper(), 9)
+        split = split_by_site(trace)
+        assert set(split) == {"site0", "site1", "site2"}
+        assert all(len(v) == 3 for v in split.values())
+
+
+class TestDrivers:
+    def test_run_closed_returns_ordered_results(self):
+        system = build_paper_system(n_items=3, initial_stock=100.0)
+        events = [
+            WorkloadEvent("site1", "item0", -5),
+            WorkloadEvent("site2", "item1", -5),
+            WorkloadEvent("site0", "item2", +5),
+        ]
+        results = run_closed(system, events)
+        assert len(results) == 3
+        assert [r.request.site for r in results] == ["site1", "site2", "site0"]
+        assert all(r.committed for r in results)
+
+    def test_run_closed_on_complete_hook(self):
+        system = build_paper_system(n_items=1, initial_stock=100.0)
+        seen = []
+        run_closed(
+            system,
+            [WorkloadEvent("site1", "item0", -1)] * 3,
+            on_complete=lambda i, e, r: seen.append(i),
+        )
+        assert seen == [0, 1, 2]
+
+    def test_run_closed_spacing_advances_clock(self):
+        system = build_paper_system(n_items=1, initial_stock=100.0)
+        run_closed(
+            system, [WorkloadEvent("site1", "item0", -1)] * 4, spacing=10.0
+        )
+        assert system.env.now >= 30.0
+
+    def test_run_open_routes_streams(self):
+        system = build_paper_system(n_items=2, initial_stock=100.0)
+        per_site = {
+            "site1": [WorkloadEvent("site1", "item0", -1)] * 5,
+            "site2": [WorkloadEvent("site2", "item1", -1)] * 5,
+        }
+        results = run_open(system, per_site, interarrival=2.0)
+        assert len(results) == 10
+
+    def test_run_open_rejects_misrouted_event(self):
+        system = build_paper_system(n_items=1, initial_stock=100.0)
+        per_site = {"site1": [WorkloadEvent("site2", "item0", -1)]}
+        with pytest.raises(ValueError, match="wrong site"):
+            run_open(system, per_site, interarrival=1.0)
+
+
+class TestTraceSummary:
+    def test_summary_aggregates(self):
+        trace = WorkloadTrace(
+            [
+                WorkloadEvent("site0", "A", +10),
+                WorkloadEvent("site1", "A", -4),
+                WorkloadEvent("site2", "B", -6),
+            ]
+        )
+        s = trace.summary()
+        assert s.events == 3
+        assert s.per_site == {"site0": 1, "site1": 1, "site2": 1}
+        assert s.per_item == {"A": 2, "B": 1}
+        assert s.net_delta == {"A": 6, "B": -6}
+        assert s.increments == 1 and s.decrements == 2
+        assert s.volume_in == 10 and s.volume_out == 10
+        assert s.supply_demand_ratio == 1.0
+        assert "supply/demand" in str(s)
+
+    def test_paper_trace_is_balanced(self):
+        """The calibrated paper workload runs near supply/demand parity."""
+        from repro.experiments import make_paper_trace
+
+        summary = make_paper_trace(900, seed=0, n_items=10).summary()
+        assert 0.8 < summary.supply_demand_ratio < 1.25
+
+    def test_empty_trace_summary(self):
+        s = WorkloadTrace([]).summary()
+        assert s.events == 0
+        assert s.supply_demand_ratio == float("inf")
