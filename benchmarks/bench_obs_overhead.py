@@ -1,0 +1,93 @@
+"""Disabled-instrumentation overhead bound for the observability layer.
+
+The span instrumentation stays in the protocol hot paths even when
+``config.observe`` is off — every update makes a handful of calls into
+the null recorder. This bench bounds that cost directly:
+
+1. run the Fig. 6 proposal workload unobserved and time it;
+2. count the null-recorder calls the same workload makes (by swapping a
+   counting recorder into each accelerator — protocols fetch
+   ``obs.recorder`` at call time, so the swap is faithful);
+3. micro-time one null-recorder call;
+4. assert ``calls × per-call cost`` is under 5% of the run time.
+
+This is tighter than timing two runs A/B (which mostly measures OS
+noise at these durations) because it isolates exactly the added work.
+"""
+
+import time
+import timeit
+
+from conftest import once
+
+from repro.cluster import build_paper_system
+from repro.experiments import make_paper_trace
+from repro.obs.hub import Observability
+from repro.obs.spans import NULL_SPAN, NullSpanRecorder
+from repro.workload import run_closed
+
+#: the acceptance bound: disabled instrumentation must stay under this
+MAX_OVERHEAD = 0.05
+
+N_UPDATES = 1000
+SEED = 0
+N_ITEMS = 10
+
+
+class CountingNullRecorder(NullSpanRecorder):
+    """Null recorder that counts ``start`` calls (overhead census)."""
+
+    def __init__(self):
+        super().__init__()
+        self.calls = 0
+
+    def start(self, name, site, now, trace=None, parent=None, **attrs):
+        self.calls += 1
+        return NULL_SPAN
+
+
+def _run_unobserved() -> float:
+    """One unobserved Fig. 6 workload; returns wall-clock seconds."""
+    system = build_paper_system(n_items=N_ITEMS, seed=SEED)
+    trace = make_paper_trace(N_UPDATES, seed=SEED, n_items=N_ITEMS)
+    t0 = time.perf_counter()
+    run_closed(system, trace)
+    return time.perf_counter() - t0
+
+
+def _count_null_calls() -> int:
+    """Replay the same workload counting every null-recorder call."""
+    system = build_paper_system(n_items=N_ITEMS, seed=SEED)
+    counting = Observability(enabled=False)
+    counting.recorder = CountingNullRecorder()
+    for site in system.sites.values():
+        site.accelerator.obs = counting
+    trace = make_paper_trace(N_UPDATES, seed=SEED, n_items=N_ITEMS)
+    run_closed(system, trace)
+    return counting.recorder.calls
+
+
+def bench_obs_disabled_overhead(benchmark, save_result):
+    run_seconds = min(once(benchmark, _run_unobserved), _run_unobserved())
+
+    calls = _count_null_calls()
+    assert calls > 0, "instrumented paths made no recorder calls?"
+
+    null = NullSpanRecorder()
+    reps = 100_000
+    per_call = (
+        timeit.timeit(lambda: null.start("x", "s", 0.0), number=reps) / reps
+    )
+
+    added = calls * per_call
+    overhead = added / run_seconds
+    report = "\n".join([
+        f"workload             : fig6 proposal, n={N_UPDATES} updates",
+        f"run time (unobserved): {run_seconds * 1e3:.1f} ms",
+        f"null recorder calls  : {calls}",
+        f"per-call cost        : {per_call * 1e9:.0f} ns",
+        f"added cost           : {added * 1e6:.0f} us",
+        f"estimated overhead   : {overhead:.3%} (bound {MAX_OVERHEAD:.0%})",
+    ])
+    save_result("obs_overhead", report)
+    assert overhead < MAX_OVERHEAD, report

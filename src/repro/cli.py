@@ -14,13 +14,23 @@ from typing import Optional, Sequence
 from repro._version import __version__
 
 
+def _write_trace(obs, path: str) -> None:
+    from repro.obs.export import write_chrome_trace
+
+    document = write_chrome_trace(path, obs.recorder)
+    print(f"wrote {len(document['traceEvents'])} trace events to {path}")
+
+
 def _cmd_fig6(args: argparse.Namespace) -> int:
     from repro.experiments import run_fig6
 
     result = run_fig6(
-        n_updates=args.updates, seed=args.seed, n_items=args.items
+        n_updates=args.updates, seed=args.seed, n_items=args.items,
+        observe=bool(args.trace_out),
     )
     print(result.render())
+    if args.trace_out:
+        _write_trace(result.obs, args.trace_out)
     return 0
 
 
@@ -28,9 +38,31 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.experiments import run_table1
 
     result = run_table1(
-        n_updates=args.updates, seed=args.seed, n_items=args.items
+        n_updates=args.updates, seed=args.seed, n_items=args.items,
+        observe=bool(args.trace_out),
     )
     print(result.render())
+    if args.trace_out:
+        _write_trace(result.obs, args.trace_out)
+    return 0
+
+
+def _cmd_observe(args: argparse.Namespace) -> int:
+    from repro.experiments import run_observed
+
+    run = run_observed(
+        experiment=args.experiment,
+        n_updates=args.updates,
+        seed=args.seed,
+        n_items=args.items,
+        sample_interval=args.sample_interval,
+    )
+    print(run.render())
+    if args.trace_out:
+        _write_trace(run.obs, args.trace_out)
+    if args.jsonl_out:
+        n = run.write_jsonl(args.jsonl_out)
+        print(f"wrote {n} JSONL records to {args.jsonl_out}")
     return 0
 
 
@@ -162,13 +194,46 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--items", type=int, default=10,
                        help="catalogue size (default 10, the calibrated value)")
 
+    def trace_out(p):
+        p.add_argument(
+            "--trace-out", default=None, metavar="PATH",
+            help=(
+                "also record causal spans and write a Chrome trace-event"
+                " JSON file (open in Perfetto)"
+            ),
+        )
+
     p = sub.add_parser("fig6", help="reproduce Fig. 6")
     common(p)
+    trace_out(p)
     p.set_defaults(fn=_cmd_fig6)
 
     p = sub.add_parser("table1", help="reproduce Table 1")
     common(p)
+    trace_out(p)
     p.set_defaults(fn=_cmd_table1)
+
+    p = sub.add_parser(
+        "observe",
+        help="replay an experiment with the observability layer on",
+    )
+    p.add_argument(
+        "experiment", choices=["fig6", "table1"],
+        help="whose workload to replay",
+    )
+    p.add_argument("--updates", type=int, default=300,
+                   help="total updates to issue (default 300)")
+    p.add_argument("--seed", type=int, default=0, help="root seed")
+    p.add_argument("--items", type=int, default=10,
+                   help="catalogue size (default 10, the calibrated value)")
+    p.add_argument("--sample-interval", type=float, default=25.0,
+                   help="sim-time between state snapshots (default 25)")
+    trace_out(p)
+    p.add_argument(
+        "--jsonl-out", default=None, metavar="PATH",
+        help="write spans + metrics + samples as line-delimited JSON",
+    )
+    p.set_defaults(fn=_cmd_observe)
 
     p = sub.add_parser("ablations", help="run design-choice ablations")
     common(p)

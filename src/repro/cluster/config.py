@@ -60,6 +60,9 @@ class SystemConfig:
     trace: bool = False
     #: install a SizeModel so NetworkStats also counts wire bytes
     count_bytes: bool = False
+    #: record causal spans + metric registry (repro.obs); off by default
+    #: so unobserved runs pay only null-recorder calls
+    observe: bool = False
 
     def __post_init__(self) -> None:
         if self.n_retailers < 1:

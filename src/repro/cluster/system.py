@@ -22,6 +22,7 @@ from repro.db.storage import Store
 from repro.metrics.collector import MetricsCollector
 from repro.net.latency import ConstantLatency
 from repro.net.network import Network
+from repro.obs.hub import NULL_OBS, Observability
 from repro.sim.engine import Environment
 from repro.sim.process import Process
 from repro.sim.rng import RngRegistry
@@ -48,6 +49,7 @@ class DistributedSystem:
         catalog: ProductCatalog,
         sites: Dict[str, Site],
         collector: MetricsCollector,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.config = config
         self.env = env
@@ -57,6 +59,8 @@ class DistributedSystem:
         self.catalog = catalog
         self.sites = sites
         self.collector = collector
+        #: the run's observability hub (NULL_OBS when config.observe off)
+        self.obs = obs if obs is not None else NULL_OBS
 
     # ---------------------------------------------------------------- #
     # construction
@@ -95,7 +99,13 @@ class DistributedSystem:
                 initial_stock=config.initial_stock,
                 regular_fraction=config.regular_fraction,
             )
-        collector = MetricsCollector()
+        # NULL_OBS is a shared singleton, so the collector must only be
+        # handed the registry of a run-private (enabled) hub — otherwise
+        # every unobserved run would accumulate into one global registry.
+        obs = Observability(enabled=True) if config.observe else NULL_OBS
+        collector = MetricsCollector(
+            registry=obs.registry if config.observe else None
+        )
 
         sites: Dict[str, Site] = {}
         for name in config.site_names:
@@ -111,6 +121,7 @@ class DistributedSystem:
                 policy=(policy_factory(name, rngs) if policy_factory else None),
                 rng=rngs.stream(f"{name}.protocol"),
                 tracer=tracer,
+                obs=obs,
                 propagate=config.propagate,
                 request_timeout=config.request_timeout,
                 max_rounds=config.max_rounds,
@@ -128,7 +139,10 @@ class DistributedSystem:
             av_weights=config.av_weights,
             base=config.maker,
         )
-        return cls(config, env, network, rngs, tracer, catalog, sites, collector)
+        return cls(
+            config, env, network, rngs, tracer, catalog, sites, collector,
+            obs=obs,
+        )
 
     # ---------------------------------------------------------------- #
     # access

@@ -33,6 +33,7 @@ from repro.db.locks import LockManager
 from repro.db.storage import Store
 from repro.db.transaction import TransactionManager
 from repro.net.endpoint import Endpoint
+from repro.obs.hub import NULL_OBS, Observability
 from repro.sim.process import Process
 from repro.sim.tracing import NullTracer, Tracer
 
@@ -74,6 +75,7 @@ class Accelerator:
         policy: Optional[DecidingPolicy] = None,
         rng: Optional[np.random.Generator] = None,
         tracer: Optional[Tracer] = None,
+        obs: Optional[Observability] = None,
         propagate: bool = False,
         request_timeout: Optional[float] = None,
         max_rounds: int = 8,
@@ -93,6 +95,7 @@ class Accelerator:
         self.policy = policy if policy is not None else Soda99Policy()
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.tracer = tracer if tracer is not None else NullTracer()
+        self.obs = obs if obs is not None else NULL_OBS
         self.propagate = propagate
         self.request_timeout = request_timeout
         self.max_rounds = max_rounds
@@ -205,13 +208,31 @@ class Accelerator:
     def _run(self, req: UpdateRequest):
         from repro.core.types import UpdateOutcome, UpdateResult
         from repro.net.endpoint import CrashedEndpointError
+        from repro.obs.spans import NULL_SPAN
 
+        rec = self.obs.recorder
+        if rec.enabled:
+            # The update's root span: every child — checking, AV
+            # transfer round-trips at either site, lock waits, applies —
+            # hangs off this trace id.
+            root = rec.start(
+                "update", self.site, self.env.now,
+                trace=f"{req.site}:u{req.request_id}",
+                item=req.item, delta=req.delta,
+            )
+        else:
+            root = NULL_SPAN
+        check_span = rec.start(
+            "av.checking", self.site, self.env.now,
+            trace=root.trace_id, parent=root,
+        )
         kind = self.check(req.item)
+        check_span.finish(self.env.now, verdict=kind.value)
         try:
             if kind is UpdateKind.DELAY:
-                result = yield from self.delay.execute(req)
+                result = yield from self.delay.execute(req, span=root)
             else:
-                result = yield from self.immediate.execute(req)
+                result = yield from self.immediate.execute(req, span=root)
         except CrashedEndpointError:
             # The site died mid-protocol. The protocol released its hold
             # on the way out, so local AV state is exact; volume granted
@@ -224,6 +245,7 @@ class Accelerator:
                 outcome=UpdateOutcome.FAILED,
                 finished_at=self.env.now,
             )
+        root.finish(self.env.now, outcome=result.outcome.value)
         return result
 
     # ---------------------------------------------------------------- #
@@ -279,18 +301,22 @@ class Accelerator:
         """Items with any pending balance."""
         return {item for _, item in self.owed}
 
-    def sync_item(self, item: str) -> int:
+    def sync_item(self, item: str, parent=None) -> int:
         """Push the item's batched delta to every live peer it is owed to.
 
         Returns the number of messages sent — one per (live) peer with a
         balance, however many updates accumulated. Balances owed to
         crashed peers are retained for delivery after recovery.
+        ``parent`` is the enclosing sync-pass span, if any.
         """
         from repro.core.types import TAG_PROPAGATE
 
         sent = 0
         live = set(self.live_peers())
-        for peer in list(live):
+        span = self.obs.recorder.start(
+            "sync.push", self.site, self.now, parent=parent, item=item
+        )
+        for peer in sorted(live):
             delta = self.owed.pop((peer, item), 0.0)
             if delta == 0.0:
                 continue
@@ -298,13 +324,17 @@ class Accelerator:
                 peer, "prop.push", {"item": item, "delta": delta}, tag=TAG_PROPAGATE
             )
             sent += 1
+        span.finish(self.now, messages=sent)
         if sent:
             self.trace("sync.push", f"{item} to {sent} peers")
         return sent
 
-    def sync_all(self) -> int:
+    def sync_all(self, parent=None) -> int:
         """Push every pending batched delta; returns messages sent."""
-        return sum(self.sync_item(item) for item in self.unsynced_items())
+        return sum(
+            self.sync_item(item, parent=parent)
+            for item in sorted(self.unsynced_items())
+        )
 
     # ---------------------------------------------------------------- #
     # freeze / quiesce (used by reclassification)

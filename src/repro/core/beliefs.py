@@ -72,6 +72,15 @@ class BeliefTable:
 
         return sorted(candidates, key=sort_key)
 
+    def entries(self):
+        """Iterate ``(peer, item, Belief)`` over every held belief.
+
+        Used by the observability sampler to compare believed against
+        actual AV levels (belief staleness).
+        """
+        for (peer, item), belief in self._beliefs.items():
+            yield peer, item, belief
+
     def forget_peer(self, peer: str) -> None:
         """Drop all beliefs about a peer (e.g. observed to have crashed)."""
         for key in [k for k in self._beliefs if k[0] == peer]:

@@ -66,12 +66,13 @@ class DelayUpdateProtocol:
     # requester side
     # ---------------------------------------------------------------- #
 
-    def execute(self, req: UpdateRequest):
+    def execute(self, req: UpdateRequest, span=None):
         """Generator driving one Delay Update to completion.
 
         Wraps the protocol body with the freeze gate (reclassification
         stops new updates) and in-flight accounting (so `quiesce` can
-        wait for the protocol to drain).
+        wait for the protocol to drain). ``span`` is the update's root
+        span (or ``NULL_SPAN``); protocol phases open children of it.
         """
         accel = self.accel
         # Wait while the item is frozen (re-check: it may re-freeze).
@@ -82,36 +83,37 @@ class DelayUpdateProtocol:
             yield gate
         if not accel.av_table.defined(req.item):
             # Reclassified to non-regular while we waited at the gate.
-            result = yield from accel.immediate.execute(req)
+            result = yield from accel.immediate.execute(req, span=span)
             return result
         accel._delay_begin(req.item)
         try:
-            result = yield from self._execute(req)
+            result = yield from self._execute(req, span)
         finally:
             accel._delay_end(req.item)
         return result
 
-    def _execute(self, req: UpdateRequest):
+    def _execute(self, req: UpdateRequest, span=None):
         """The protocol body (see class docs)."""
         accel = self.accel
+        rec = accel.obs.recorder
         item, delta = req.item, req.delta
         av = accel.av_table
 
         if delta >= 0:
             # Increase: new stock is new headroom — mint AV locally.
-            self._apply(item, delta)
+            self._apply(item, delta, span)
             av.add(item, delta)
             accel.trace("delay.local", f"{req} minted {delta:g} AV")
-            self._propagate(item, delta)
+            self._propagate(item, delta, span)
             return self._done(req, UpdateOutcome.COMMITTED, local=True)
 
         need = -delta
         if av.get(item) >= need:
             # The paper's headline path: complete within the local site.
             av.take(item, need)
-            self._apply(item, delta)
+            self._apply(item, delta, span)
             accel.trace("delay.local", f"{req} covered by local AV")
-            self._propagate(item, delta)
+            self._propagate(item, delta, span)
             return self._done(req, UpdateOutcome.COMMITTED, local=True)
 
         if not accel.allow_transfers:
@@ -132,9 +134,13 @@ class DelayUpdateProtocol:
         progress = False
 
         while hold.amount < need:
+            select_span = rec.start(
+                "av.selecting", accel.site, accel.now, parent=span
+            )
             target = accel.strategy.select(
                 item, accel.live_peers(), frozenset(tried), accel.beliefs
             )
+            select_span.finish(accel.now, target=target or "<none>")
             if target is None:
                 # Everyone asked once this round. Retry only if somebody
                 # granted something (otherwise the system is dry).
@@ -156,30 +162,45 @@ class DelayUpdateProtocol:
             shortage = need - hold.amount
             ask = accel.policy.request_amount(shortage)
             av_requests += 1
+            payload = {
+                "item": item,
+                "amount": ask,
+                # piggyback our level so the grantor's beliefs stay fresh
+                "requester_av": hold.amount,
+            }
+            req_span = rec.start(
+                "av.request", accel.site, accel.now, parent=span,
+                target=target, amount=ask,
+            )
+            if rec.enabled:
+                # Cross-site span context: the grantor parents its
+                # av.grant span under this round-trip span.
+                payload["_obs"] = {
+                    "trace": req_span.trace_id,
+                    "span": req_span.span_id,
+                }
             try:
                 reply = yield accel.endpoint.request(
                     target,
                     "av.request",
-                    {
-                        "item": item,
-                        "amount": ask,
-                        # piggyback our level so the grantor's beliefs stay fresh
-                        "requester_av": hold.amount,
-                    },
+                    payload,
                     tag=TAG_AV,
                     timeout=accel.request_timeout,
                 )
             except RequestTimeout:
+                req_span.finish(accel.now, timeout=True)
                 accel.trace("delay.timeout", f"{req} no reply from {target}")
                 continue
             except BaseException:
                 # Typically CrashedEndpointError: we died mid-gathering.
                 # Return the held volume to the table so no AV leaks —
                 # the site's state must be exact when it restarts.
+                req_span.finish(accel.now, error=True)
                 hold.release()
                 raise
 
             granted = reply["granted"]
+            req_span.finish(accel.now, granted=granted)
             accel.beliefs.observe(target, item, reply["av_after"], accel.now)
             if granted > 0:
                 progress = True
@@ -191,9 +212,9 @@ class DelayUpdateProtocol:
             )
 
         hold.consume(need)
-        self._apply(item, delta)
+        self._apply(item, delta, span)
         accel.trace("delay.remote", f"{req} completed after {av_requests} requests")
-        self._propagate(item, delta)
+        self._propagate(item, delta, span)
         return self._done(
             req,
             UpdateOutcome.COMMITTED,
@@ -208,20 +229,35 @@ class DelayUpdateProtocol:
     def handle_av_request(self, msg):
         """Serve an AV transfer: grant per policy, piggyback our level."""
         accel = self.accel
+        rec = accel.obs.recorder
         item = msg.payload["item"]
         requested = msg.payload["amount"]
+        ctx = msg.payload.get("_obs") if rec.enabled else None
+        grant_span = rec.start(
+            "av.grant", accel.site, accel.now,
+            trace=ctx["trace"] if ctx else None,
+            parent=ctx["span"] if ctx else None,
+            item=item, requester=msg.src,
+        )
         accel.beliefs.observe(
             msg.src, item, msg.payload.get("requester_av", 0.0), accel.now
         )
         if not accel.av_table.defined(item):
+            grant_span.finish(accel.now, granted=0.0, undefined=True)
             return {"granted": 0.0, "av_after": 0.0}
         available = accel.av_table.get(item)
+        decide_span = rec.start(
+            "av.deciding", accel.site, accel.now, parent=grant_span,
+            available=available, requested=requested,
+        )
         granted = accel.policy.grant_amount(available, requested)
+        decide_span.finish(accel.now, granted=granted)
         if granted > 0:
             accel.av_table.take(item, granted)
             self.grants_served += 1
             self.volume_granted += granted
         after = accel.av_table.get(item)
+        grant_span.finish(accel.now, granted=granted, av_after=after)
         accel.trace("delay.serve", f"granted {granted:g} {item} to {msg.src}")
         return {"granted": granted, "av_after": after}
 
@@ -259,7 +295,7 @@ class DelayUpdateProtocol:
         # force: replicas may transiently dip negative (see module docs).
         self.accel.store.apply_delta(item, delta, now=self.accel.now, force=True)
 
-    def _propagate(self, item: str, delta: float) -> None:
+    def _propagate(self, item: str, delta: float, span=None) -> None:
         """Record or push a committed delta for replica convergence.
 
         Eager mode (``accel.propagate``) pushes to every peer at once —
@@ -275,19 +311,31 @@ class DelayUpdateProtocol:
         if not accel.propagate:
             accel.record_unsynced(item, delta)
             return
+        prop_span = accel.obs.recorder.start(
+            "prop.push", accel.site, accel.now, parent=span, item=item
+        )
+        pushed = 0
         for peer in accel.live_peers():
             accel.endpoint.send(
                 peer, "prop.push", {"item": item, "delta": delta}, tag=TAG_PROPAGATE
             )
+            pushed += 1
+        prop_span.finish(accel.now, peers=pushed)
 
     # ---------------------------------------------------------------- #
     # helpers
     # ---------------------------------------------------------------- #
 
-    def _apply(self, item: str, delta: float) -> None:
+    def _apply(self, item: str, delta: float, span=None) -> None:
         """Apply a committed delta in its own (single-delta) transaction."""
-        with self.accel.txns.atomic() as txn:
+        accel = self.accel
+        apply_span = accel.obs.recorder.start(
+            "delay.apply", accel.site, accel.now, parent=span,
+            item=item, delta=delta,
+        )
+        with accel.txns.atomic() as txn:
             txn.apply(item, delta, force=True)
+        apply_span.finish(accel.now)
 
     def _done(
         self,

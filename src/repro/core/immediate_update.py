@@ -70,9 +70,15 @@ class ImmediateUpdateProtocol:
     # coordinator
     # ---------------------------------------------------------------- #
 
-    def execute(self, req: UpdateRequest):
-        """Generator driving one Immediate Update as coordinator."""
+    def execute(self, req: UpdateRequest, span=None):
+        """Generator driving one Immediate Update as coordinator.
+
+        ``span`` is the update's root span (or ``NULL_SPAN``); the lock
+        wait, each prepare round-trip, and the decision phase open
+        children of it.
+        """
         accel = self.accel
+        rec = accel.obs.recorder
         item, delta = req.item, req.delta
         token = f"imm:{req.request_id}:{req.site}"
         self.coordinated += 1
@@ -93,24 +99,42 @@ class ImmediateUpdateProtocol:
 
         for site in order:
             if site == accel.site:
+                lock_span = rec.start(
+                    "imm.lock", accel.site, accel.now, parent=span, item=item
+                )
                 yield accel.locks.acquire(item, token, LockMode.EXCLUSIVE)
+                lock_span.finish(accel.now)
                 holds_local = True
                 if accel.store.value(item) + delta < 0:
                     ready = False
                     break
             else:
+                payload = {"item": item, "delta": delta, "token": token}
+                prep_span = rec.start(
+                    "imm.prepare", accel.site, accel.now, parent=span,
+                    target=site,
+                )
+                if rec.enabled:
+                    # Cross-site span context: the participant parents
+                    # its lock-wait span under this round-trip span.
+                    payload["_obs"] = {
+                        "trace": prep_span.trace_id,
+                        "span": prep_span.span_id,
+                    }
                 try:
                     reply = yield accel.endpoint.request(
                         site,
                         "imm.prepare",
-                        {"item": item, "delta": delta, "token": token},
+                        payload,
                         tag=TAG_IMMEDIATE,
                         timeout=accel.request_timeout,
                     )
                 except RequestTimeout:
+                    prep_span.finish(accel.now, timeout=True)
                     accel.trace("imm.unreachable", f"{site} ({token})")
                     ready = False
                     break
+                prep_span.finish(accel.now, ready=reply["ready"])
                 if not reply["ready"]:
                     ready = False
                     break
@@ -123,6 +147,10 @@ class ImmediateUpdateProtocol:
             self.decisions[token] = "abort"
             self.in_progress.discard(token)
             accel.trace("imm.abort", str(req))
+            abort_span = rec.start(
+                "imm.abort", accel.site, accel.now, parent=span,
+                peers=len(prepared_peers),
+            )
             if accel.request_timeout is None:
                 acks = [
                     accel.endpoint.request(
@@ -140,6 +168,7 @@ class ImmediateUpdateProtocol:
                     for peer in prepared_peers
                 ]
                 yield accel.env.all_of(deliveries)
+            abort_span.finish(accel.now)
             if holds_local:
                 accel.locks.release(item, token)
             return UpdateResult(
@@ -156,6 +185,10 @@ class ImmediateUpdateProtocol:
         self.in_progress.discard(token)
         with accel.txns.atomic() as txn:
             txn.apply(item, delta)
+        commit_span = rec.start(
+            "imm.commit", accel.site, accel.now, parent=span,
+            peers=len(prepared_peers),
+        )
         if accel.request_timeout is None:
             acks = [
                 accel.endpoint.request(
@@ -183,6 +216,7 @@ class ImmediateUpdateProtocol:
                 for peer in prepared_peers
             ]
             yield accel.env.all_of(deliveries)
+        commit_span.finish(accel.now)
         accel.locks.release(item, token)
         accel.trace("imm.commit", str(req))
         return UpdateResult(
@@ -229,11 +263,20 @@ class ImmediateUpdateProtocol:
     def handle_prepare(self, msg):
         """Wait for the item lock, apply provisionally, vote."""
         accel = self.accel
+        rec = accel.obs.recorder
         item = msg.payload["item"]
         delta = msg.payload["delta"]
         token = msg.payload["token"]
 
+        ctx = msg.payload.get("_obs") if rec.enabled else None
+        lock_span = rec.start(
+            "imm.lock", accel.site, accel.now,
+            trace=ctx["trace"] if ctx else None,
+            parent=ctx["span"] if ctx else None,
+            item=item,
+        )
         yield accel.locks.acquire(item, token, LockMode.EXCLUSIVE)
+        lock_span.finish(accel.now)
         if accel.store.value(item) + delta < 0:
             accel.locks.release(item, token)
             return {"ready": False, "reason": "negative"}

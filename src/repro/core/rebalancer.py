@@ -104,6 +104,7 @@ class AVRebalancer:
     def rebalance_once(self) -> int:
         """Inspect every AV entry; push surpluses. Returns pushes sent."""
         accel = self.accel
+        span = accel.obs.recorder.start("rebal.pass", accel.site, accel.now)
         sent = 0
         for item, own in list(accel.av_table.items()):
             if accel.frozen_gate(item) is not None:
@@ -149,6 +150,7 @@ class AVRebalancer:
             self.volume_pushed += amount
             sent += 1
             accel.trace("rebal.push", f"{amount:g} {item} -> {target}")
+        span.finish(accel.now, pushes=sent)
         return sent
 
     def __repr__(self) -> str:

@@ -56,7 +56,12 @@ class SyncScheduler:
                 yield accel.env.timeout(self.interval)
                 if accel.endpoint.crashed:
                     continue
-                self.messages_sent += accel.sync_all()
+                span = accel.obs.recorder.start(
+                    "sync.pass", accel.site, accel.now
+                )
+                sent = accel.sync_all(parent=span)
+                span.finish(accel.now, messages=sent)
+                self.messages_sent += sent
                 self.passes += 1
         except Interrupt:
             return

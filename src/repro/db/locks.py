@@ -133,6 +133,10 @@ class LockManager:
         lock = self._locks.get(item)
         return len(lock.queue) if lock else 0
 
+    def total_waiting(self) -> int:
+        """Waiters queued across all items (lock-wait depth sampling)."""
+        return sum(len(lock.queue) for lock in self._locks.values())
+
     def is_locked(self, item: str) -> bool:
         lock = self._locks.get(item)
         return bool(lock and lock.holders)

@@ -15,6 +15,11 @@ from repro.experiments.faults import (
     run_partition_experiment,
 )
 from repro.experiments.fig6 import Fig6Result, make_paper_trace, run_fig6
+from repro.experiments.observe import (
+    OBSERVABLE_EXPERIMENTS,
+    ObservedRun,
+    run_observed,
+)
 from repro.experiments.latency_exp import (
     LATENCY_HEADERS,
     LatencyResult,
@@ -45,6 +50,8 @@ __all__ = [
     "Fig6Result",
     "LATENCY_HEADERS",
     "LatencyResult",
+    "OBSERVABLE_EXPERIMENTS",
+    "ObservedRun",
     "SWEEP_HEADERS",
     "SweepPoint",
     "Table1Result",
@@ -60,6 +67,7 @@ __all__ = [
     "run_partition_experiment",
     "run_fig6",
     "run_latency_experiment",
+    "run_observed",
     "run_table1",
     "sweep_av_fraction",
     "sweep_items",

@@ -35,6 +35,8 @@ class Fig6Result:
     conventional: CountedRun
     n_updates: int
     seed: int
+    #: the proposal run's observability hub when run with observe=True
+    obs: Optional[object] = None
 
     @property
     def proposal_series(self) -> CorrespondenceSeries:
@@ -124,6 +126,7 @@ def run_fig6(
     n_retailers: int = 2,
     checkpoint_every: Optional[int] = None,
     checkpoints: Optional[Sequence[int]] = None,
+    observe: bool = False,
 ) -> Fig6Result:
     """Regenerate Fig. 6.
 
@@ -147,6 +150,7 @@ def run_fig6(
         initial_stock=initial_stock,
         n_retailers=n_retailers,
         seed=seed,
+        observe=observe,
     )
     proposal_system = DistributedSystem.build(config)
     proposal = run_counted(proposal_system, trace, "proposal", checkpoints)
@@ -160,4 +164,5 @@ def run_fig6(
         conventional=conventional,
         n_updates=n_updates,
         seed=seed,
+        obs=proposal_system.obs if observe else None,
     )

@@ -1,0 +1,151 @@
+"""Observed runs: replay an experiment's workload with observability on.
+
+``run_observed`` drives the same frozen paper workload the figure
+experiments use through a proposal system built with
+``SystemConfig.observe=True``, so every update records its full causal
+span chain (checking → selecting → AV request at the requester →
+grant/deciding at the grantor → apply), the metric registry accumulates
+streaming aggregates, and a :class:`~repro.obs.sampler.PeriodicSampler`
+snapshots per-site AV levels, belief staleness, lock-wait depth and
+sync-queue backlog as time series.
+
+The result object exports every format in :mod:`repro.obs.export`; the
+``python -m repro observe <experiment>`` subcommand is a thin wrapper
+around it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.cluster import DistributedSystem, paper_config
+from repro.core.sync import SyncScheduler
+from repro.core.types import UpdateResult
+from repro.obs.export import render_summary, write_chrome_trace, write_jsonl
+from repro.obs.sampler import PeriodicSampler
+from repro.workload.trace import WorkloadTrace
+
+from repro.experiments.fig6 import make_paper_trace
+
+#: experiments the observe runner knows how to replay
+OBSERVABLE_EXPERIMENTS = ("fig6", "table1")
+
+
+@dataclass
+class ObservedRun:
+    """One observed replay: the system (with its obs hub) plus results."""
+
+    experiment: str
+    system: DistributedSystem
+    results: List[UpdateResult] = field(default_factory=list)
+    n_updates: int = 0
+    seed: int = 0
+
+    @property
+    def obs(self):
+        return self.system.obs
+
+    def render(self) -> str:
+        """Aligned-table summary (spans, metrics, time series)."""
+        title = f"observe {self.experiment} (n={self.n_updates}, seed={self.seed})"
+        return render_summary(self.obs, title=title)
+
+    def write_chrome_trace(self, path: str) -> Dict[str, Any]:
+        """Write the span tree as a Perfetto-loadable trace-event file."""
+        return write_chrome_trace(path, self.obs.recorder)
+
+    def write_jsonl(self, path: str) -> int:
+        """Write spans + metrics + samples as line-delimited JSON."""
+        return write_jsonl(
+            path,
+            spans=self.obs.recorder,
+            registry=self.obs.registry,
+            series=self.obs.series,
+        )
+
+
+def run_observed(
+    experiment: str = "fig6",
+    n_updates: int = 300,
+    seed: int = 0,
+    n_items: int = 10,
+    initial_stock: float = 100.0,
+    n_retailers: int = 2,
+    sample_interval: float = 25.0,
+    sync_interval: float = 50.0,
+    spacing: float = 1.0,
+    trace: Optional[WorkloadTrace] = None,
+    max_spans: Optional[int] = None,
+) -> ObservedRun:
+    """Replay ``experiment``'s proposal-system workload, observed.
+
+    The workload is the frozen §4 paper trace both Fig. 6 and Table 1
+    replay (so observed runs see exactly the traffic those figures
+    count). Lazy sync runs on a real :class:`SyncScheduler` per site so
+    sync passes appear as spans, and the sampler snapshots system state
+    every ``sample_interval``. ``spacing`` idles the closed-loop driver
+    between updates — without it, a mostly-local workload completes in
+    almost no simulated time and the periodic processes never fire.
+    """
+    if experiment not in OBSERVABLE_EXPERIMENTS:
+        raise ValueError(
+            f"unknown experiment {experiment!r};"
+            f" choose from {OBSERVABLE_EXPERIMENTS}"
+        )
+    if trace is None:
+        trace = make_paper_trace(
+            n_updates, seed, n_items=n_items,
+            initial_stock=initial_stock, n_retailers=n_retailers,
+        )
+    config = paper_config(
+        n_items=n_items,
+        initial_stock=initial_stock,
+        n_retailers=n_retailers,
+        seed=seed,
+        observe=True,
+    )
+    system = DistributedSystem.build(config)
+    if max_spans is not None:
+        # Swap in a capped recorder before any span starts. Protocols
+        # fetch ``obs.recorder`` at call time, so this is safe.
+        from repro.obs.spans import SpanRecorder
+
+        system.obs.recorder = SpanRecorder(max_spans)
+
+    run = ObservedRun(
+        experiment=experiment, system=system,
+        n_updates=len(trace), seed=seed,
+    )
+
+    schedulers = [
+        SyncScheduler(site.accelerator, interval=sync_interval)
+        for site in system.sites.values()
+    ]
+    sampler = PeriodicSampler(system, interval=sample_interval)
+
+    def driver(env):
+        # system.update already reports each result to the collector.
+        for event in trace:
+            result = yield system.update(event.site, event.item, event.delta)
+            run.results.append(result)
+            if spacing > 0:
+                yield env.timeout(spacing)
+
+    proc = system.env.process(driver(system.env), name="workload.observed")
+    for scheduler in schedulers:
+        scheduler.start()
+    sampler.start()
+    # The periodic processes never finish on their own, so run to the
+    # driver's completion, stop them, then drain the in-flight tail
+    # (sync pushes, propagation) so the trace is complete.
+    system.run(until=proc)
+    for site in system.sites.values():
+        site.accelerator.sync_all()  # flush the remaining lazy backlog
+    sampler.sample_once()  # final snapshot at the end of the workload
+    for scheduler in schedulers:
+        scheduler.stop()
+    sampler.stop()
+    system.run()
+    system.check_invariants()
+    return run

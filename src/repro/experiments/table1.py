@@ -37,6 +37,8 @@ class Table1Result:
     retailers: List[str]
     n_updates: int
     seed: int
+    #: the proposal run's observability hub when run with observe=True
+    obs: Optional[object] = None
 
     def assurance(self) -> AssuranceReport:
         """The paper's assurance claim, quantified on the final checkpoint."""
@@ -103,6 +105,7 @@ def run_table1(
     initial_stock: float = 100.0,
     n_retailers: int = 2,
     checkpoints: Optional[Sequence[int]] = None,
+    observe: bool = False,
 ) -> Table1Result:
     """Regenerate Table 1 (plus the same columns for the baseline)."""
     if checkpoints is None:
@@ -117,6 +120,7 @@ def run_table1(
         initial_stock=initial_stock,
         n_retailers=n_retailers,
         seed=seed,
+        observe=observe,
     )
     site_names = config.site_names
 
@@ -138,4 +142,5 @@ def run_table1(
         retailers=config.retailers,
         n_updates=n_updates,
         seed=seed,
+        obs=proposal_system.obs if observe else None,
     )

@@ -136,7 +136,7 @@ class Network:
         self._notify("send", msg)
 
         if self.faults.should_drop(msg.src, msg.dst):
-            self.stats.record_drop(msg)
+            self.stats.record_drop(msg, size=size)
             self.tracer.emit(self.env.now, "msg.drop", msg.src, str(msg))
             self._notify("drop", msg)
             return
@@ -156,7 +156,12 @@ class Network:
             return
         if self.faults.is_crashed(msg.dst):
             # Crashed while the message was in flight.
-            self.stats.record_drop(msg)
+            size = (
+                self.size_model.message_size(msg)
+                if self.size_model is not None
+                else None
+            )
+            self.stats.record_drop(msg, size=size)
             self.tracer.emit(self.env.now, "msg.drop", msg.dst, str(msg))
             self._notify("drop", msg)
             return

@@ -49,6 +49,11 @@ class NetworkStats:
     bytes_total: int = 0
     #: tag -> wire bytes
     bytes_by_tag: Counter = field(default_factory=Counter)
+    #: (src, dst) -> wire bytes
+    bytes_by_pair: Counter = field(default_factory=Counter)
+    #: wire bytes of dropped messages (transmitted but never delivered;
+    #: already included in ``bytes_total``, like dropped message counts)
+    bytes_dropped: int = 0
 
     def record_send(self, msg: "Message", size: Optional[int] = None) -> None:
         """Account one transmitted message (``size`` in wire bytes)."""
@@ -65,10 +70,18 @@ class NetworkStats:
         if size is not None:
             self.bytes_total += size
             self.bytes_by_tag[msg.tag] += size
+            self.bytes_by_pair[(msg.src, msg.dst)] += size
 
-    def record_drop(self, msg: "Message") -> None:
-        """Account a message lost to a fault (already counted as sent)."""
+    def record_drop(self, msg: "Message", size: Optional[int] = None) -> None:
+        """Account a message lost to a fault (already counted as sent).
+
+        ``size`` attributes the wasted wire bytes: the message was
+        transmitted, so its bytes stay in ``bytes_total``, and
+        ``bytes_dropped`` records how much of that never arrived.
+        """
         self.dropped_total += 1
+        if size is not None:
+            self.bytes_dropped += size
 
     # -------------------------------------------------------------- #
     # derived views
@@ -110,6 +123,8 @@ class NetworkStats:
             by_site_tag=Counter(self.by_site_tag),
             bytes_total=self.bytes_total,
             bytes_by_tag=Counter(self.bytes_by_tag),
+            bytes_by_pair=Counter(self.bytes_by_pair),
+            bytes_dropped=self.bytes_dropped,
         )
 
     def diff(self, earlier: "NetworkStats") -> "NetworkStats":
@@ -126,13 +141,17 @@ class NetworkStats:
             by_site_tag=self.by_site_tag - earlier.by_site_tag,
             bytes_total=self.bytes_total - earlier.bytes_total,
             bytes_by_tag=self.bytes_by_tag - earlier.bytes_by_tag,
+            bytes_by_pair=self.bytes_by_pair - earlier.bytes_by_pair,
+            bytes_dropped=self.bytes_dropped - earlier.bytes_dropped,
         )
 
     def reset(self) -> None:
         self.sent_total = 0
         self.dropped_total = 0
         self.bytes_total = 0
+        self.bytes_dropped = 0
         self.bytes_by_tag.clear()
+        self.bytes_by_pair.clear()
         for counter in (
             self.by_sender,
             self.by_receiver,

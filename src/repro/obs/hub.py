@@ -1,0 +1,67 @@
+"""The observability hub handed through the stack.
+
+One :class:`Observability` object per system bundles the span recorder,
+the metric registry, and the time-series store, so constructors thread a
+single handle instead of three. :data:`NULL_OBS` is the shared disabled
+hub: its recorder is a :class:`~repro.obs.spans.NullSpanRecorder` and
+its ``count``/``observe_value`` helpers return immediately, making the
+default (unobserved) configuration near-zero-cost.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.registry import MetricRegistry
+from repro.obs.sampler import TimeSeriesStore
+from repro.obs.spans import NullSpanRecorder, SpanRecorder
+
+
+class Observability:
+    """Span recorder + metric registry + time-series store for one run.
+
+    Parameters
+    ----------
+    enabled:
+        ``False`` installs the null recorder and turns the metric
+        helpers into no-ops.
+    max_spans:
+        Optional span cap (see :class:`~repro.obs.spans.SpanRecorder`).
+    """
+
+    def __init__(self, enabled: bool = True, max_spans: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.recorder: SpanRecorder = (
+            SpanRecorder(max_spans) if enabled else NullSpanRecorder()
+        )
+        self.registry = MetricRegistry()
+        self.series = TimeSeriesStore()
+
+    # Convenience wrappers that keep call sites one-liners and free when
+    # disabled (a single attribute check).
+
+    def count(self, name: str, n: float = 1.0) -> None:
+        """Increment counter ``name`` (no-op when disabled)."""
+        if self.enabled:
+            self.registry.counter(name).inc(n)
+
+    def observe_value(self, name: str, value: float) -> None:
+        """Fold ``value`` into histogram ``name`` (no-op when disabled)."""
+        if self.enabled:
+            self.registry.histogram(name).observe(value)
+
+    def gauge_set(self, name: str, value: float, now: Optional[float] = None) -> None:
+        """Set gauge ``name`` (no-op when disabled)."""
+        if self.enabled:
+            self.registry.gauge(name).set(value, now)
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return (
+            f"<Observability {state} spans={len(self.recorder)}"
+            f" metrics={len(self.registry)}>"
+        )
+
+
+#: the shared disabled hub; never records, safe as a default argument
+NULL_OBS = Observability(enabled=False)

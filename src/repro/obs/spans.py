@@ -1,0 +1,234 @@
+"""Causal spans: timed, linked intervals of protocol work.
+
+A :class:`Span` is one interval of simulated time attributed to a named
+piece of protocol work at one site (an AV request round-trip, a 2PC lock
+wait, a sync pass). Spans carry a ``trace_id`` shared by every span of
+one logical operation and a ``parent_id`` linking them into a tree, so
+the full chain behind a single update — checking, selecting, the AV
+request at the requester, the deciding/grant at the *grantor*, the final
+apply — reconstructs from the flat span list.
+
+Cross-site linkage works by piggybacking ``{"trace", "span"}`` context
+on protocol payloads (only when recording is enabled, so the disabled
+wire format is byte-identical to an uninstrumented run); the remote
+handler opens its span with that context as parent.
+
+:class:`NullSpanRecorder` is the disabled implementation: ``start``
+returns the shared :data:`NULL_SPAN` whose mutators are no-ops, keeping
+instrumented hot paths near-zero-cost when observability is off.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+
+class Span:
+    """One timed interval of work, linked into a per-trace tree."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "site",
+                 "start", "end", "attrs")
+
+    def __init__(
+        self,
+        trace_id: str,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        site: str,
+        start: float,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.site = site
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs = attrs
+
+    def finish(self, now: float, **attrs: Any) -> "Span":
+        """Close the span at ``now``, merging any final attributes."""
+        self.end = now
+        if attrs:
+            self.annotate(**attrs)
+        return self
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach key/value attributes to the span."""
+        if self.attrs is None:
+            self.attrs = {}
+        self.attrs.update(attrs)
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Sim-time length (0 for still-open spans)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def __repr__(self) -> str:
+        endp = f"{self.end:g}" if self.end is not None else "…"
+        return (
+            f"<Span {self.name!r} {self.site} trace={self.trace_id}"
+            f" id={self.span_id} parent={self.parent_id}"
+            f" [{self.start:g}, {endp}]>"
+        )
+
+
+class _NullSpan(Span):
+    """The shared do-nothing span returned by a disabled recorder."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("", 0, None, "", "", 0.0)
+
+    def finish(self, now: float, **attrs: Any) -> "Span":
+        return self
+
+    def annotate(self, **attrs: Any) -> None:
+        return None
+
+
+#: singleton no-op span; safe to use as a parent (treated as "no parent")
+NULL_SPAN = _NullSpan()
+
+ParentLike = Union[Span, int, None]
+
+
+class SpanRecorder:
+    """Collects spans in start order (deterministic under a fixed seed).
+
+    Parameters
+    ----------
+    max_spans:
+        Optional cap; further ``start`` calls return :data:`NULL_SPAN`
+        and are counted in :attr:`dropped` (mirrors ``Tracer``'s policy).
+    """
+
+    enabled = True
+
+    def __init__(self, max_spans: Optional[int] = None) -> None:
+        self.max_spans = max_spans
+        self.spans: List[Span] = []
+        self.dropped = 0
+        self._ids = count(1)
+
+    # ---------------------------------------------------------------- #
+    # recording
+    # ---------------------------------------------------------------- #
+
+    def start(
+        self,
+        name: str,
+        site: str,
+        now: float,
+        trace: Optional[str] = None,
+        parent: ParentLike = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span; the caller must ``finish()`` it.
+
+        ``parent`` may be a :class:`Span` (its trace id is inherited
+        when ``trace`` is omitted), a raw span id (cross-site context —
+        pass ``trace`` too), or ``None``/:data:`NULL_SPAN` for a root.
+        A root with no ``trace`` starts a fresh trace (id ``t<span_id>``).
+        """
+        if self.max_spans is not None and len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            return NULL_SPAN
+        span_id = next(self._ids)
+        if isinstance(parent, Span):
+            parent_id = parent.span_id if parent.span_id else None
+            if trace is None and parent.trace_id:
+                trace = parent.trace_id
+        else:
+            parent_id = parent
+        span = Span(
+            trace_id=trace if trace else f"t{span_id}",
+            span_id=span_id,
+            parent_id=parent_id,
+            name=name,
+            site=site,
+            start=now,
+            attrs=attrs or None,
+        )
+        self.spans.append(span)
+        return span
+
+    # ---------------------------------------------------------------- #
+    # views
+    # ---------------------------------------------------------------- #
+
+    def by_trace(self, trace_id: str) -> List[Span]:
+        return [s for s in self.spans if s.trace_id == trace_id]
+
+    def traces(self) -> Dict[str, List[Span]]:
+        """All spans grouped by trace id (insertion-ordered)."""
+        out: Dict[str, List[Span]] = {}
+        for span in self.spans:
+            out.setdefault(span.trace_id, []).append(span)
+        return out
+
+    def roots(self) -> List[Span]:
+        return [s for s in self.spans if s.parent_id is None]
+
+    def children(self, parent: Span) -> List[Span]:
+        return [
+            s for s in self.spans
+            if s.parent_id == parent.span_id and s.trace_id == parent.trace_id
+        ]
+
+    def names(self) -> Dict[str, int]:
+        """Span count by name (summary tables)."""
+        out: Dict[str, int] = {}
+        for span in self.spans:
+            out[span.name] = out.get(span.name, 0) + 1
+        return out
+
+    def fingerprint(self) -> int:
+        """Order-sensitive hash of the whole span tree.
+
+        Covers trace/parent linkage, timing, and attributes — the span
+        analogue of :meth:`repro.sim.tracing.Tracer.fingerprint`, used
+        by the determinism property test (same seed ⇒ same value).
+        """
+        acc = 0
+        for s in self.spans:
+            attrs = tuple(sorted(s.attrs.items())) if s.attrs else ()
+            key = (s.trace_id, s.span_id, s.parent_id, s.name, s.site,
+                   s.start, s.end, repr(attrs))
+            acc = (acc * 1000003 + hash(key)) & 0xFFFFFFFFFFFFFFFF
+        if self.dropped:
+            acc = (acc * 1000003 + self.dropped) & 0xFFFFFFFFFFFFFFFF
+        return acc
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans)
+
+    def __repr__(self) -> str:
+        return f"<SpanRecorder spans={len(self.spans)} dropped={self.dropped}>"
+
+
+class NullSpanRecorder(SpanRecorder):
+    """A recorder that never records (the disabled fast path)."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(max_spans=None)
+
+    def start(self, name, site, now, trace=None, parent=None, **attrs):
+        return NULL_SPAN

@@ -57,13 +57,20 @@ class Tracer:
         self.max_records = max_records
         self.records: list[TraceRecord] = []
         self.dropped = 0
+        # Running hash of records dropped at the cap, so fingerprint()
+        # still covers every emitted record.
+        self._dropped_acc = 0
 
     def emit(self, time: float, kind: str, source: str, detail: Any = None) -> None:
-        """Record one entry (no-op when disabled or full)."""
+        """Record one entry (no-op when disabled; hashed-only when full)."""
         if not self.enabled:
             return
         if self.max_records is not None and len(self.records) >= self.max_records:
             self.dropped += 1
+            self._dropped_acc = (
+                self._dropped_acc * 1000003
+                + hash((time, kind, source, repr(detail)))
+            ) & 0xFFFFFFFFFFFFFFFF
             return
         self.records.append(TraceRecord(time, kind, source, detail))
 
@@ -72,11 +79,18 @@ class Tracer:
         kind: Optional[str] = None,
         source: Optional[str] = None,
         predicate: Optional[Callable[[TraceRecord], bool]] = None,
+        kind_prefix: Optional[str] = None,
     ) -> list[TraceRecord]:
-        """Return records matching all given criteria."""
+        """Return records matching all given criteria.
+
+        ``kind_prefix`` matches any kind starting with the prefix
+        (e.g. ``"av."`` for the whole AV-transfer family).
+        """
         out = []
         for rec in self.records:
             if kind is not None and rec.kind != kind:
+                continue
+            if kind_prefix is not None and not rec.kind.startswith(kind_prefix):
                 continue
             if source is not None and rec.source != source:
                 continue
@@ -88,17 +102,26 @@ class Tracer:
     def fingerprint(self) -> int:
         """A cheap order-sensitive hash of the whole trace.
 
-        Two traces with the same fingerprint and length are, for the
-        purposes of the determinism test, identical.
+        Skip-free: records dropped at the ``max_records`` cap still
+        contribute (they are hashed as they are dropped), so two runs
+        that diverge only past the cap still get different fingerprints.
+        Note that once records have been dropped the fingerprint is only
+        comparable against a trace captured with the *same* cap — the
+        stored records no longer describe the full run, so record-level
+        determinism comparison is invalid across different caps.
         """
         acc = 0
         for rec in self.records:
             acc = (acc * 1000003 + hash((rec.time, rec.kind, rec.source, repr(rec.detail)))) & 0xFFFFFFFFFFFFFFFF
+        if self.dropped:
+            acc = (acc * 1000003 + self._dropped_acc) & 0xFFFFFFFFFFFFFFFF
+            acc = (acc * 1000003 + self.dropped) & 0xFFFFFFFFFFFFFFFF
         return acc
 
     def clear(self) -> None:
         self.records.clear()
         self.dropped = 0
+        self._dropped_acc = 0
 
     def __len__(self) -> int:
         return len(self.records)

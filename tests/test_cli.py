@@ -58,3 +58,45 @@ class TestFiguresCommand:
         out = capsys.readouterr().out
         assert "Fig. 3" in out and "Fig. 4" in out and "Fig. 5" in out
         assert "av.request" in out and "imm.prepare" in out
+
+
+class TestObserveCommand:
+    def test_observe_defaults(self):
+        args = build_parser().parse_args(["observe", "fig6"])
+        assert args.experiment == "fig6"
+        assert args.updates == 300 and args.sample_interval == 25.0
+        assert args.trace_out is None and args.jsonl_out is None
+
+    def test_observe_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["observe", "bogus"])
+
+    def test_fig6_accepts_trace_out(self):
+        args = build_parser().parse_args(["fig6", "--trace-out", "/tmp/x.json"])
+        assert args.trace_out == "/tmp/x.json"
+
+    def test_observe_runs_and_writes_exports(self, capsys, tmp_path):
+        trace_path = tmp_path / "t.json"
+        jsonl_path = tmp_path / "t.jsonl"
+        code = main([
+            "observe", "fig6", "--updates", "60", "--items", "5",
+            "--trace-out", str(trace_path), "--jsonl-out", str(jsonl_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "spans" in out and "metrics" in out
+        import json
+
+        doc = json.loads(trace_path.read_text())
+        assert doc["traceEvents"]
+        assert jsonl_path.read_text().strip()
+
+    def test_fig6_with_trace_out_runs(self, capsys, tmp_path):
+        trace_path = tmp_path / "fig6.json"
+        code = main([
+            "fig6", "--updates", "60", "--items", "5",
+            "--trace-out", str(trace_path),
+        ])
+        assert code == 0
+        assert "trace events" in capsys.readouterr().out
+        assert trace_path.exists()

@@ -123,3 +123,38 @@ class TestLatencyModels:
         m.set("a", "b", ConstantLatency(9.0))
         assert m.sample("a", "b", self.rng) == 9.0
         assert m.sample("b", "a", self.rng) == 1.0
+
+
+class TestNetworkStatsBytes:
+    def test_send_accounts_bytes_by_pair(self):
+        stats = NetworkStats()
+        stats.record_send(Message("a", "b", "k"), size=100)
+        stats.record_send(Message("a", "b", "k"), size=50)
+        stats.record_send(Message("b", "a", "k"), size=25)
+        assert stats.bytes_total == 175
+        assert stats.bytes_by_pair[("a", "b")] == 150
+        assert stats.bytes_by_pair[("b", "a")] == 25
+
+    def test_dropped_bytes_counted_but_still_transmitted(self):
+        stats = NetworkStats()
+        stats.record_send(Message("a", "b", "k"), size=100)
+        stats.record_drop(Message("a", "b", "k"), size=100)
+        assert stats.bytes_total == 100  # wire bytes were spent
+        assert stats.bytes_dropped == 100  # ... but never arrived
+
+    def test_drop_without_size_model_keeps_zero_bytes(self):
+        stats = NetworkStats()
+        stats.record_drop(Message("a", "b", "k"))
+        assert stats.bytes_dropped == 0 and stats.dropped_total == 1
+
+    def test_snapshot_diff_reset_cover_new_fields(self):
+        stats = NetworkStats()
+        stats.record_send(Message("a", "b", "k"), size=10)
+        snap = stats.snapshot()
+        stats.record_send(Message("a", "b", "k"), size=30)
+        stats.record_drop(Message("a", "b", "k"), size=30)
+        delta = stats.diff(snap)
+        assert delta.bytes_by_pair[("a", "b")] == 30
+        assert delta.bytes_dropped == 30
+        stats.reset()
+        assert stats.bytes_dropped == 0 and not stats.bytes_by_pair

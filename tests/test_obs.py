@@ -1,0 +1,413 @@
+"""Tests for the observability layer: spans, registry, sampler, export."""
+
+import json
+import math
+import statistics
+
+import pytest
+
+from repro.cluster import build_paper_system
+from repro.experiments import make_paper_trace, run_observed
+from repro.obs import (
+    NULL_OBS,
+    NULL_SPAN,
+    MetricRegistry,
+    NullSpanRecorder,
+    Observability,
+    SpanRecorder,
+    StreamingHistogram,
+    TimeSeriesStore,
+    chrome_trace_events,
+    jsonl_lines,
+    render_summary,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.workload import run_closed
+
+
+class TestSpanRecorder:
+    def test_parent_links_and_trace_inheritance(self):
+        rec = SpanRecorder()
+        root = rec.start("update", "site1", 0.0, trace="t-1")
+        child = rec.start("av.request", "site1", 1.0, parent=root)
+        assert child.trace_id == "t-1"
+        assert child.parent_id == root.span_id
+        assert rec.children(root) == [child]
+        assert rec.roots() == [root]
+
+    def test_raw_span_id_parent_for_cross_site_context(self):
+        rec = SpanRecorder()
+        root = rec.start("av.request", "site1", 0.0)
+        remote = rec.start(
+            "av.grant", "site0", 1.0, trace=root.trace_id, parent=root.span_id
+        )
+        assert remote.parent_id == root.span_id
+        assert remote.trace_id == root.trace_id
+
+    def test_finish_sets_end_and_attrs(self):
+        rec = SpanRecorder()
+        span = rec.start("x", "s", 2.0, item="a")
+        span.finish(5.0, outcome="committed")
+        assert span.finished and span.duration == 3.0
+        assert span.attrs == {"item": "a", "outcome": "committed"}
+
+    def test_null_parent_means_root(self):
+        rec = SpanRecorder()
+        span = rec.start("x", "s", 0.0, parent=NULL_SPAN)
+        assert span.parent_id is None
+
+    def test_max_spans_cap_returns_null_span(self):
+        rec = SpanRecorder(max_spans=1)
+        first = rec.start("a", "s", 0.0)
+        second = rec.start("b", "s", 0.0)
+        assert first is not NULL_SPAN and second is NULL_SPAN
+        assert rec.dropped == 1 and len(rec) == 1
+
+    def test_dropped_spans_change_fingerprint(self):
+        full = SpanRecorder()
+        capped = SpanRecorder(max_spans=1)
+        for rec in (full, capped):
+            rec.start("a", "s", 0.0).finish(1.0)
+            rec.start("b", "s", 0.0).finish(1.0)
+        assert full.fingerprint() != capped.fingerprint()
+
+    def test_fingerprint_deterministic_and_order_sensitive(self):
+        def build(order):
+            rec = SpanRecorder()
+            for name in order:
+                rec.start(name, "s", 0.0).finish(1.0)
+            return rec.fingerprint()
+
+        assert build(["a", "b"]) == build(["a", "b"])
+        assert build(["a", "b"]) != build(["b", "a"])
+
+    def test_null_recorder_records_nothing(self):
+        rec = NullSpanRecorder()
+        span = rec.start("x", "s", 0.0, item="a")
+        assert span is NULL_SPAN
+        span.finish(1.0, ignored=True)  # no-op, must not raise
+        assert len(rec) == 0 and not rec.enabled
+
+    def test_names_and_traces_views(self):
+        rec = SpanRecorder()
+        r1 = rec.start("update", "s", 0.0)
+        rec.start("apply", "s", 0.0, parent=r1)
+        rec.start("update", "s", 1.0)
+        assert rec.names() == {"update": 2, "apply": 1}
+        assert len(rec.traces()) == 2
+
+
+class TestStreamingHistogram:
+    @pytest.mark.parametrize(
+        "samples",
+        [
+            [float(v) for v in range(1, 1001)],
+            [1.0005 ** i for i in range(2000)],  # log-spaced
+            [0.0] * 50 + [float(v) for v in range(1, 251)],  # zero-heavy
+        ],
+    )
+    def test_quantiles_match_statistics_within_bucket_error(self, samples):
+        hist = StreamingHistogram("lat")
+        for v in samples:
+            hist.observe(v)
+        # statistics.quantiles with n=100 gives exclusive percentiles;
+        # allow the histogram's bucket error plus one rank of slack.
+        cuts = statistics.quantiles(samples, n=100, method="inclusive")
+        rel_err = (hist.growth - 1.0) * 1.5  # bucket width + midpoint slack
+        for q, exact in ((0.50, cuts[49]), (0.90, cuts[89]), (0.99, cuts[98])):
+            estimate = hist.quantile(q)
+            if exact == 0.0:
+                assert estimate == 0.0
+            else:
+                assert abs(estimate - exact) / exact <= rel_err + 0.01, (
+                    q, estimate, exact
+                )
+
+    def test_min_max_mean_exact(self):
+        hist = StreamingHistogram("lat")
+        samples = [3.0, 1.0, 4.0, 1.5, 9.25]
+        for v in samples:
+            hist.observe(v)
+        s = hist.summary()
+        assert s["count"] == len(samples)
+        assert s["max"] == max(samples)
+        assert hist.min == min(samples)
+        assert s["mean"] == pytest.approx(statistics.mean(samples))
+
+    def test_empty_summary_is_zeroed(self):
+        assert StreamingHistogram("x").summary() == {
+            "count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0,
+            "p99": 0.0, "max": 0.0,
+        }
+
+    def test_rejects_negative_samples_and_bad_growth(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram("x").observe(-1.0)
+        with pytest.raises(ValueError):
+            StreamingHistogram("x", growth=1.0)
+
+    def test_all_zeros(self):
+        hist = StreamingHistogram("x")
+        for _ in range(10):
+            hist.observe(0.0)
+        assert hist.quantile(0.5) == 0.0 and hist.summary()["max"] == 0.0
+
+
+class TestMetricRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_counter_rejects_decrease(self):
+        reg = MetricRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("a").inc(-1)
+
+    def test_rows_and_dicts_cover_all_kinds(self):
+        reg = MetricRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(7.0, now=2.0)
+        reg.histogram("h").observe(1.0)
+        kinds = {row[1] for row in reg.rows()}
+        assert kinds == {"counter", "gauge", "histogram"}
+        dicts = {d["metric"]: d for d in reg.to_dicts()}
+        assert dicts["c"]["value"] == 3
+        assert dicts["g"]["updated_at"] == 2.0
+        assert dicts["h"]["count"] == 1
+
+
+class TestObservabilityHub:
+    def test_disabled_hub_is_free(self):
+        hub = Observability(enabled=False)
+        hub.count("x")
+        hub.observe_value("y", 1.0)
+        hub.gauge_set("z", 2.0)
+        assert len(hub.registry) == 0
+        assert isinstance(hub.recorder, NullSpanRecorder)
+
+    def test_null_obs_shared_and_disabled(self):
+        assert not NULL_OBS.enabled
+        assert NULL_OBS.recorder.start("x", "s", 0.0) is NULL_SPAN
+
+    def test_enabled_hub_records(self):
+        hub = Observability()
+        hub.count("x", 2)
+        hub.observe_value("y", 1.5)
+        assert hub.registry.counter("x").value == 2
+        assert hub.registry.histogram("y").count == 1
+
+
+class TestTimeSeriesStore:
+    def test_record_and_views(self):
+        store = TimeSeriesStore()
+        store.record("a", 0.0, 1.0)
+        store.record("a", 5.0, 2.0)
+        store.record("b", 0.0, 9.0)
+        assert store.series("a") == [(0.0, 1.0), (5.0, 2.0)]
+        assert store.names() == ["a", "b"]
+        assert store.last("a") == 2.0 and store.last("missing") == 0.0
+        assert "a" in store and len(store) == 2
+
+
+class TestExport:
+    def _spans(self):
+        rec = SpanRecorder()
+        root = rec.start("update", "site1", 0.0, item="item0")
+        rec.start("av.request", "site1", 0.5, parent=root).finish(2.5)
+        root.finish(3.0, outcome="committed")
+        return rec
+
+    def test_chrome_events_structure(self):
+        events = chrome_trace_events(self._spans())
+        meta = [e for e in events if e["ph"] == "M"]
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(meta) == 1 and meta[0]["args"]["name"] == "site1"
+        assert len(xs) == 2
+        req = next(e for e in xs if e["name"] == "av.request")
+        assert req["ts"] == 500.0 and req["dur"] == 2000.0  # 1 unit = 1 ms
+        assert "parent_id" in req["args"]
+
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), self._spans())
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"] and doc["displayTimeUnit"] == "ms"
+
+    def test_jsonl_round_trip(self, tmp_path):
+        reg = MetricRegistry()
+        reg.counter("c").inc()
+        store = TimeSeriesStore()
+        store.record("s", 1.0, 2.0)
+        path = tmp_path / "out.jsonl"
+        n = write_jsonl(str(path), self._spans(), reg, store)
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert len(lines) == n == 4  # 2 spans + 1 metric + 1 sample
+        assert {l["type"] for l in lines} == {"span", "metric", "sample"}
+
+    def test_render_summary_sections(self):
+        hub = Observability()
+        hub.recorder.start("update", "s", 0.0).finish(1.0)
+        hub.count("c")
+        hub.series.record("ts", 0.0, 1.0)
+        text = render_summary(hub, title="T")
+        assert "spans" in text and "metrics" in text and "time series" in text
+
+    def test_render_summary_empty(self):
+        assert "nothing recorded" in render_summary(Observability())
+
+
+class TestObservedSystem:
+    def test_unobserved_system_records_no_spans(self):
+        system = build_paper_system(n_items=5, seed=3)
+        trace = make_paper_trace(50, seed=3, n_items=5)
+        run_closed(system, trace)
+        assert system.obs is NULL_OBS
+        assert len(system.obs.recorder) == 0
+
+    def test_unobserved_collectors_do_not_share_a_registry(self):
+        a = build_paper_system(n_items=5, seed=3)
+        b = build_paper_system(n_items=5, seed=3)
+        assert a.collector.registry is not b.collector.registry
+        assert a.collector.registry is not NULL_OBS.registry
+
+    def test_av_transfer_chain_reconstructs(self):
+        """The acceptance chain: request -> grant -> apply, one trace."""
+        run = run_observed("fig6", n_updates=200, seed=0, n_items=10)
+        rec = run.obs.recorder
+        chains = 0
+        for trace_id, spans in rec.traces().items():
+            by_name = {}
+            for s in spans:
+                by_name.setdefault(s.name, []).append(s)
+            if not {"av.request", "av.grant", "delay.apply"} <= set(by_name):
+                continue
+            req_ids = {s.span_id for s in by_name["av.request"]}
+            assert all(
+                g.parent_id in req_ids for g in by_name["av.grant"]
+            ), trace_id
+            root = next(s for s in spans if s.name == "update")
+            assert all(
+                s.trace_id == root.trace_id for s in spans
+            )
+            chains += 1
+        assert chains >= 1
+
+    def test_observed_run_exports(self, tmp_path):
+        run = run_observed("fig6", n_updates=60, seed=1, n_items=5)
+        doc = run.write_chrome_trace(str(tmp_path / "t.json"))
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+        n = run.write_jsonl(str(tmp_path / "t.jsonl"))
+        assert n > 0
+        assert "spans" in run.render()
+
+    def test_sampler_series_recorded(self):
+        run = run_observed(
+            "fig6", n_updates=100, seed=2, n_items=5, sample_interval=10.0
+        )
+        series = run.obs.series
+        for prefix in ("av.level", "belief.error", "belief.age",
+                       "lock.wait", "sync.backlog"):
+            for site in ("site0", "site1", "site2"):
+                assert f"{prefix}.{site}" in series, prefix
+        assert len(series.series("av.level.site0")) >= 2
+
+    def test_sync_spans_present_in_lazy_mode(self):
+        run = run_observed("fig6", n_updates=150, seed=0, n_items=5,
+                           sync_interval=20.0)
+        names = run.obs.recorder.names()
+        assert names.get("sync.pass", 0) > 0
+        assert names.get("sync.push", 0) > 0
+
+    def test_registry_shared_with_collector(self):
+        run = run_observed("fig6", n_updates=60, seed=1, n_items=5)
+        system = run.system
+        assert system.collector.registry is system.obs.registry
+        committed = system.collector.registry.counter("updates.committed")
+        assert committed.value == sum(1 for r in run.results if r.committed)
+
+    def test_max_spans_cap_respected(self):
+        run = run_observed("fig6", n_updates=80, seed=0, n_items=5,
+                           max_spans=50)
+        rec = run.obs.recorder
+        assert len(rec) == 50 and rec.dropped > 0
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            run_observed("bogus", n_updates=10)
+
+
+class TestSpanDeterminism:
+    def test_same_seed_same_span_fingerprint(self):
+        def run():
+            r = run_observed("fig6", n_updates=150, seed=11, n_items=5)
+            return r.obs.recorder.fingerprint(), len(r.obs.recorder)
+
+        assert run() == run()
+
+    def test_different_seed_different_fingerprint(self):
+        a = run_observed("fig6", n_updates=150, seed=11, n_items=5)
+        b = run_observed("fig6", n_updates=150, seed=12, n_items=5)
+        assert a.obs.recorder.fingerprint() != b.obs.recorder.fingerprint()
+
+    def test_fingerprint_deterministic_under_faults(self):
+        """Same seed + same injected crash window => identical span tree."""
+
+        def run():
+            system = build_paper_system(
+                n_items=5, seed=13, observe=True, request_timeout=5.0
+            )
+            trace = make_paper_trace(150, seed=13, n_items=5)
+            faults = system.network.faults
+
+            def chaos(env):
+                yield env.timeout(10.0)
+                faults.crash("site2")
+                yield env.timeout(40.0)
+                system.sites["site2"].restart()
+
+            system.env.process(chaos(system.env), name="chaos")
+            results = run_closed(system, trace)
+            assert len(results) == 150
+            return system.obs.recorder.fingerprint(), len(system.obs.recorder)
+
+        first, second = run(), run()
+        assert first == second
+        assert first[1] > 0
+
+
+class TestCollectorRegistryIntegration:
+    def test_count_fast_paths_match_scan(self):
+        from repro.core.types import UpdateKind, UpdateOutcome
+
+        system = build_paper_system(n_items=5, seed=4)
+        trace = make_paper_trace(120, seed=4, n_items=5)
+        run_closed(system, trace)
+        collector = system.collector
+        for kind in (None, UpdateKind.DELAY, UpdateKind.IMMEDIATE):
+            for outcome in (None, UpdateOutcome.COMMITTED,
+                            UpdateOutcome.REJECTED):
+                expected = sum(
+                    1 for r in collector.results
+                    if (kind is None or r.kind is kind)
+                    and (outcome is None or r.outcome is outcome)
+                )
+                assert collector.count(kind, outcome) == expected
+
+    def test_latency_summary_matches_exact_percentiles(self):
+        system = build_paper_system(n_items=5, seed=4)
+        trace = make_paper_trace(200, seed=4, n_items=5)
+        run_closed(system, trace)
+        collector = system.collector
+        latencies = collector.latencies()
+        summary = collector.latency_summary()
+        assert summary["count"] == len(latencies)
+        assert summary["max"] == max(latencies)
+        assert summary["mean"] == pytest.approx(statistics.mean(latencies))

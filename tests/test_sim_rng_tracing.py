@@ -96,3 +96,60 @@ class TestTracer:
     def test_record_str(self):
         rec = TraceRecord(1.5, "msg.send", "site0", "x")
         assert "msg.send" in str(rec) and "site0" in str(rec)
+
+
+class TestTracerKindPrefix:
+    def test_kind_prefix_matches_family(self):
+        t = Tracer()
+        t.emit(1.0, "av.request", "site1")
+        t.emit(2.0, "av.grant", "site0")
+        t.emit(3.0, "imm.commit", "site1")
+        assert len(t.filter(kind_prefix="av.")) == 2
+        assert len(t.filter(kind_prefix="imm.")) == 1
+        assert len(t.filter(kind_prefix="av.", source="site0")) == 1
+
+    def test_kind_prefix_combines_with_exact_kind(self):
+        t = Tracer()
+        t.emit(1.0, "av.request", "s")
+        t.emit(2.0, "av.grant", "s")
+        assert len(t.filter(kind="av.grant", kind_prefix="av.")) == 1
+
+
+class TestTracerSkipFreeFingerprint:
+    def test_divergence_past_cap_still_detected(self):
+        """Two runs identical up to the cap but different after it must
+        fingerprint differently (drops are hashed, not skipped)."""
+        a, b = Tracer(max_records=2), Tracer(max_records=2)
+        for t in (a, b):
+            t.emit(1.0, "k", "s", "same")
+            t.emit(2.0, "k", "s", "same")
+        a.emit(3.0, "k", "s", "diverges-here")
+        b.emit(3.0, "k", "s", "differently")
+        assert a.records == b.records  # stored prefixes identical
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_identical_runs_with_drops_match(self):
+        def build():
+            t = Tracer(max_records=2)
+            for i in range(6):
+                t.emit(float(i), "k", "s", i)
+            return t.fingerprint()
+
+        assert build() == build()
+
+    def test_dropped_count_contributes(self):
+        a, b = Tracer(max_records=1), Tracer(max_records=1)
+        a.emit(1.0, "k", "s")
+        b.emit(1.0, "k", "s")
+        b.emit(1.0, "k", "s")  # extra dropped copy; acc hash alone could
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_clear_resets_dropped_hash(self):
+        t = Tracer(max_records=1)
+        t.emit(1.0, "a", "s")
+        t.emit(2.0, "b", "s")
+        t.clear()
+        t.emit(1.0, "a", "s")
+        fresh = Tracer(max_records=1)
+        fresh.emit(1.0, "a", "s")
+        assert t.fingerprint() == fresh.fingerprint()
