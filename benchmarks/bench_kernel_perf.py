@@ -9,7 +9,7 @@ without measuring").
 """
 
 from repro.net import ConstantLatency, Network
-from repro.sim import Environment
+from repro.sim import Environment, RngRegistry
 
 
 def bench_event_dispatch(benchmark):
@@ -50,7 +50,11 @@ def bench_rpc_round_trips(benchmark):
 
     def run():
         env = Environment()
-        net = Network(env, latency=ConstantLatency(1.0))
+        net = Network(
+            env,
+            latency=ConstantLatency(1.0),
+            rng=RngRegistry(0).stream("net.latency"),
+        )
         a, b = net.endpoint("a"), net.endpoint("b")
         b.on("echo", lambda m: m.payload)
 

@@ -1,5 +1,22 @@
-"""Analysis helpers: executable sequence diagrams from live traces."""
+"""Analysis and correctness tooling for the protocol stack.
 
+Three parts (see ``docs/analysis.md``):
+
+* the **runtime sanitizer** (:mod:`repro.analysis.sanitizer`,
+  :mod:`repro.analysis.invariants`, :mod:`repro.analysis.hb`) audits a
+  live run's events against the paper's invariants — enable with
+  ``SystemConfig.sanitize=True`` or ``python -m repro check``;
+* the **static lint pass** (:mod:`repro.analysis.lint`) enforces
+  repo-specific determinism and instrumentation rules over the source
+  tree — run with ``python -m repro.analysis.lint src tests``;
+* executable **sequence diagrams** from live traces
+  (:mod:`repro.analysis.sequence`).
+"""
+
+from repro.analysis.check import CheckRun, run_check
+from repro.analysis.hb import CausalOrder, VectorClock
+from repro.analysis.invariants import SanitizerReport, Violation
+from repro.analysis.sanitizer import ProtocolSanitizer
 from repro.analysis.sequence import (
     SequenceEvent,
     SequenceRecorder,
@@ -8,8 +25,15 @@ from repro.analysis.sequence import (
 )
 
 __all__ = [
+    "CausalOrder",
+    "CheckRun",
+    "ProtocolSanitizer",
+    "SanitizerReport",
     "SequenceEvent",
     "SequenceRecorder",
+    "VectorClock",
+    "Violation",
     "record_scenario",
     "render_sequence",
+    "run_check",
 ]

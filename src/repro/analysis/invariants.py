@@ -1,0 +1,315 @@
+"""Invariant bookkeeping for the runtime protocol sanitizer.
+
+Three independent auditors, each fed by the sanitizer's hooks:
+
+* :class:`AVConservation` — the paper's central safety property.  Per
+  item, the allowable volume anywhere in the system (site tables, open
+  holds, grants/pushes in transit) may never exceed the *headroom*: the
+  bootstrap allocation plus every mint (stock increase, §3.3) minus
+  every spend (committed decrement) and undefine.  All hooks notify in
+  an order where transients only ever *lower* the left-hand side, so a
+  ``<=`` check never false-positives mid-operation.
+* :class:`HoldRegistry` — hold lifecycle soundness: every hold opened is
+  consumed or released exactly once; anything still open at teardown is
+  a leak, any operation on a closed hold is a double-close.
+* :class:`LockAudit` — rebuilds the cross-site wait-for graph from lock
+  events, detects cycles (deadlock) the moment the closing edge appears,
+  and checks that each transaction token acquires site locks in the
+  canonical ascending site order (the total-order rule Immediate Update
+  relies on for deadlock freedom).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One structured finding. ``severity`` is ``"violation"`` (the run
+    is unsound) or ``"warning"`` (suspicious but tolerated by design)."""
+
+    rule: str
+    detail: str
+    item: Optional[str] = None
+    site: Optional[str] = None
+    span_id: Optional[int] = None
+    trace_id: Optional[str] = None
+    msg_id: Optional[int] = None
+    time: float = 0.0
+    severity: str = "violation"
+
+    def render(self) -> str:
+        where = []
+        if self.item is not None:
+            where.append(f"item={self.item}")
+        if self.site is not None:
+            where.append(f"site={self.site}")
+        if self.span_id is not None:
+            where.append(f"span={self.span_id}")
+        if self.trace_id:
+            where.append(f"trace={self.trace_id}")
+        if self.msg_id is not None:
+            where.append(f"msg={self.msg_id}")
+        loc = f" [{' '.join(where)}]" if where else ""
+        return f"{self.severity}: {self.rule} t={self.time:g}{loc}: {self.detail}"
+
+
+@dataclass
+class SanitizerReport:
+    """Everything a sanitized run produced."""
+
+    violations: List[Violation] = field(default_factory=list)
+    warnings: List[Violation] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    hb_samples: List[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def by_rule(self, rule: str) -> List[Violation]:
+        return [v for v in self.violations + self.warnings if v.rule == rule]
+
+    def render(self) -> str:
+        lines = [
+            "protocol sanitizer report",
+            f"  events checked : {self.counters.get('events', 0)}",
+            f"  violations     : {len(self.violations)}",
+            f"  warnings       : {len(self.warnings)}",
+        ]
+        for key in sorted(self.counters):
+            if key != "events":
+                lines.append(f"  {key:<15}: {self.counters[key]}")
+        for v in self.violations:
+            lines.append("  " + v.render())
+        for w in self.warnings:
+            lines.append("  " + w.render())
+        return "\n".join(lines)
+
+
+class AVConservation:
+    """Incremental per-item conservation sums (O(1) per event)."""
+
+    EPS = 1e-6
+
+    def __init__(self, report: SanitizerReport) -> None:
+        self.report = report
+        #: Σ AV across site tables, per item
+        self.av_sum: Dict[str, float] = {}
+        #: Σ open-hold volume, per item
+        self.holds_sum: Dict[str, float] = {}
+        #: granted/pushed volume currently in transit, per item
+        self.in_flight: Dict[str, float] = {}
+        #: allocation + mints − spends − undefines, per item
+        self.headroom: Dict[str, float] = {}
+        self.checks = 0
+
+    # ------------------------------------------------------------- #
+    # feeds
+    # ------------------------------------------------------------- #
+
+    def baseline(self, item: str, volume: float) -> None:
+        """Fold one site's bootstrap allocation into the accounts."""
+        self.av_sum[item] = self.av_sum.get(item, 0.0) + volume
+        self.headroom[item] = self.headroom.get(item, 0.0) + volume
+
+    def table_delta(self, item: str, delta: float, site: str, now: float) -> None:
+        self.av_sum[item] = self.av_sum.get(item, 0.0) + delta
+        self.check(item, site, now)
+
+    def holds_delta(self, item: str, delta: float, site: str, now: float) -> None:
+        self.holds_sum[item] = self.holds_sum.get(item, 0.0) + delta
+        self.check(item, site, now)
+
+    def transit_delta(self, item: str, delta: float, now: float) -> None:
+        self.in_flight[item] = self.in_flight.get(item, 0.0) + delta
+        self.check(item, None, now)
+
+    def headroom_delta(self, item: str, delta: float, site: str, now: float) -> None:
+        self.headroom[item] = self.headroom.get(item, 0.0) + delta
+        self.check(item, site, now)
+
+    # ------------------------------------------------------------- #
+    # the invariant
+    # ------------------------------------------------------------- #
+
+    def lhs(self, item: str) -> float:
+        return (
+            self.av_sum.get(item, 0.0)
+            + self.holds_sum.get(item, 0.0)
+            + self.in_flight.get(item, 0.0)
+        )
+
+    def check(self, item: str, site: Optional[str], now: float) -> None:
+        self.checks += 1
+        total = self.lhs(item)
+        bound = self.headroom.get(item, 0.0)
+        if total > bound + self.EPS:
+            self.report.violations.append(Violation(
+                rule="av.conservation",
+                item=item,
+                site=site,
+                time=now,
+                detail=(
+                    f"AV in system {total:g} exceeds headroom {bound:g}"
+                    f" (tables {self.av_sum.get(item, 0.0):g}"
+                    f" + holds {self.holds_sum.get(item, 0.0):g}"
+                    f" + in-flight {self.in_flight.get(item, 0.0):g})"
+                ),
+            ))
+
+
+class HoldRegistry:
+    """Tracks every hold from open to its single close."""
+
+    def __init__(self, report: SanitizerReport) -> None:
+        self.report = report
+        #: (site, hold_id) -> (item, ctx, opened_at)
+        self.live: Dict[Tuple[str, int], tuple] = {}
+        self.opened = 0
+        self.closed = 0
+
+    @staticmethod
+    def _ctx(hold) -> Tuple[Optional[str], Optional[int]]:
+        return hold.ctx if hold.ctx is not None else (None, None)
+
+    def on_open(self, site: str, hold, now: float) -> None:
+        self.opened += 1
+        self.live[(site, hold.hold_id)] = (hold.item, hold.ctx, now)
+
+    def on_close(self, site: str, hold, now: float) -> None:
+        self.closed += 1
+        self.live.pop((site, hold.hold_id), None)
+
+    def on_reclose(self, site: str, hold, now: float) -> None:
+        trace, span = self._ctx(hold)
+        self.report.violations.append(Violation(
+            rule="hold.double-close",
+            item=hold.item,
+            site=site,
+            trace_id=trace,
+            span_id=span,
+            time=now,
+            detail=f"operation on already-closed hold #{hold.hold_id}",
+        ))
+
+    def finish(self, now: float) -> None:
+        for (site, hold_id), (item, ctx, opened_at) in sorted(self.live.items()):
+            trace, span = ctx if ctx is not None else (None, None)
+            self.report.violations.append(Violation(
+                rule="hold.leak",
+                item=item,
+                site=site,
+                trace_id=trace,
+                span_id=span,
+                time=now,
+                detail=(
+                    f"hold #{hold_id} opened at t={opened_at:g}"
+                    " never consumed or released"
+                ),
+            ))
+
+
+class LockAudit:
+    """Wait-for graph + canonical-order audit over lock events.
+
+    Owner tokens (``imm:…``, ``cls:…``, ``read:…``) are globally unique,
+    so edges from different sites' managers compose into one graph.
+    """
+
+    def __init__(self, report: SanitizerReport) -> None:
+        self.report = report
+        #: waiting owner -> set of owners it waits for (with provenance)
+        self.wait_for: Dict[str, set] = {}
+        #: where each waiting edge set came from: owner -> (site, item, span)
+        self._wait_site: Dict[str, tuple] = {}
+        #: per-owner ordered list of sites where locks were requested
+        self.order_log: Dict[str, List[str]] = {}
+        self.deadlocks = 0
+
+    # ------------------------------------------------------------- #
+    # event feed
+    # ------------------------------------------------------------- #
+
+    def on_event(self, site: str, op: str, item: str, owner: str,
+                 span_id: Optional[int], holders: Dict, queue: List,
+                 now: float) -> None:
+        if op in ("wait", "grant"):
+            self._check_order(site, item, owner, span_id, now)
+        if op == "wait":
+            # The new waiter blocks on every current holder and on every
+            # earlier queued request (FIFO: they will be granted first).
+            blockers = set(holders)
+            for queued_owner, _mode in queue:
+                if queued_owner == owner:
+                    break
+                blockers.add(queued_owner)
+            blockers.discard(owner)
+            self.wait_for[owner] = blockers
+            self._wait_site[owner] = (site, item, span_id)
+            self._detect_cycle(owner, now)
+        elif op in ("grant", "release"):
+            self.wait_for.pop(owner, None)
+            self._wait_site.pop(owner, None)
+
+    # ------------------------------------------------------------- #
+    # canonical lock order
+    # ------------------------------------------------------------- #
+
+    def _check_order(self, site: str, item: str, owner: str,
+                     span_id: Optional[int], now: float) -> None:
+        log = self.order_log.setdefault(owner, [])
+        if site in log:
+            return  # reentrant acquire at a site already in the sequence
+        if log and site < log[-1]:
+            self.report.violations.append(Violation(
+                rule="lock.order",
+                item=item,
+                site=site,
+                span_id=span_id,
+                time=now,
+                detail=(
+                    f"token {owner!r} requested {site} after {log[-1]}"
+                    " — canonical ascending site order violated"
+                ),
+            ))
+        log.append(site)
+
+    # ------------------------------------------------------------- #
+    # deadlock detection
+    # ------------------------------------------------------------- #
+
+    def _detect_cycle(self, start: str, now: float) -> None:
+        # DFS from the owner whose new edges might close a cycle.
+        path: List[str] = []
+        seen: set = set()
+
+        def visit(owner: str) -> Optional[List[str]]:
+            if owner in path:
+                return path[path.index(owner):]
+            if owner in seen:
+                return None
+            seen.add(owner)
+            path.append(owner)
+            for blocker in sorted(self.wait_for.get(owner, ())):
+                cycle = visit(blocker)
+                if cycle is not None:
+                    return cycle
+            path.pop()
+            return None
+
+        cycle = visit(start)
+        if cycle is None:
+            return
+        self.deadlocks += 1
+        site, item, span_id = self._wait_site.get(start, (None, None, None))
+        self.report.violations.append(Violation(
+            rule="lock.deadlock",
+            item=item,
+            site=site,
+            span_id=span_id,
+            time=now,
+            detail="wait-for cycle: " + " -> ".join(cycle + [cycle[0]]),
+        ))

@@ -1,0 +1,23 @@
+"""Static lint pass: ``python -m repro.analysis.lint src tests``.
+
+See :mod:`repro.analysis.lint.rules` for the rules and
+``docs/analysis.md`` for rationale and the suppression syntax.
+"""
+
+from repro.analysis.lint.rules import default_rules
+from repro.analysis.lint.visitor import FileContext, LintFinding, Linter, Rule
+
+
+def lint_paths(paths) -> list:
+    """Run the default rule set over ``paths`` (files or directories)."""
+    return Linter(default_rules()).run(paths)
+
+
+__all__ = [
+    "FileContext",
+    "LintFinding",
+    "Linter",
+    "Rule",
+    "default_rules",
+    "lint_paths",
+]

@@ -1,0 +1,42 @@
+"""CLI for the repro lint pass.
+
+Usage::
+
+    python -m repro.analysis.lint src tests
+
+Exits 1 when any finding survives suppression, 0 on a clean tree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.lint import default_rules, lint_paths
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis.lint",
+        description="Static determinism/instrumentation lint for the repro tree.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    args = parser.parse_args(argv)
+
+    findings = lint_paths(args.paths)
+    for finding in findings:
+        print(finding.render())
+    rules = ", ".join(r.name for r in default_rules())
+    print(
+        f"repro-lint: {len(findings)} finding(s)"
+        f" over {len(args.paths)} path(s) [rules: {rules}]"
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

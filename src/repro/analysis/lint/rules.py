@@ -1,0 +1,246 @@
+"""The repro lint rules.
+
+Every rule guards a repo-wide convention the simulator's correctness
+arguments lean on (see ``docs/analysis.md``):
+
+* ``wall-clock`` / ``seeded-rng`` — determinism: sim/protocol code must
+  take time from the simulation clock and randomness from named
+  :class:`~repro.sim.rng.RngRegistry` streams, never from the host.
+* ``unordered-iter`` — determinism: iterating a set directly makes event
+  order depend on hash seeds; wrap in ``sorted(...)``.
+* ``message-handlers`` — liveness: a constructed message kind nobody
+  registered a handler for raises ``LookupError`` at delivery time; the
+  lint finds it before a run does.
+* ``span-coverage`` — observability: public protocol entry points must
+  route through the span recorder so sanitizer findings can always name
+  a span.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.lint.visitor import (
+    FileContext,
+    LintFinding,
+    Rule,
+    in_src,
+    in_tests_or_benchmarks,
+)
+
+
+def dotted(expr: ast.AST) -> Tuple[str, ...]:
+    """``a.b.c`` -> ``("a", "b", "c")``; unknown bases become ``""``."""
+    parts: List[str] = []
+    while isinstance(expr, ast.Attribute):
+        parts.append(expr.attr)
+        expr = expr.value
+    parts.append(expr.id if isinstance(expr, ast.Name) else "")
+    return tuple(reversed(parts))
+
+
+class WallClockRule(Rule):
+    """No host-clock reads in simulation/protocol source."""
+
+    name = "wall-clock"
+    nodes = (ast.Call,)
+    BANNED: Set[Tuple[str, str]] = {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("time", "monotonic"),
+        ("time", "monotonic_ns"),
+        ("time", "perf_counter"),
+        ("time", "perf_counter_ns"),
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+        ("date", "today"),
+    }
+
+    def applies_to(self, path: str) -> bool:
+        return in_src(path)
+
+    def check(self, node: ast.Call, ctx: FileContext) -> None:
+        name = dotted(node.func)
+        if len(name) >= 2 and name[-2:] in self.BANNED:
+            ctx.report(
+                self.name, node,
+                f"host clock read {'.'.join(name)}() — simulation code"
+                " must use env.now",
+            )
+
+
+class SeededRngRule(Rule):
+    """All randomness flows through RngRegistry streams."""
+
+    name = "seeded-rng"
+    nodes = (ast.Call,)
+
+    def applies_to(self, path: str) -> bool:
+        return in_src(path)
+
+    def check(self, node: ast.Call, ctx: FileContext) -> None:
+        name = dotted(node.func)
+        if name[-1] == "default_rng":
+            ctx.report(
+                self.name, node,
+                "direct default_rng() construction — derive streams from"
+                " RngRegistry so seeds stay centralised",
+            )
+        elif len(name) >= 2 and name[-2:] == ("random", "seed"):
+            ctx.report(
+                self.name, node,
+                "global numpy seed mutation — use RngRegistry streams",
+            )
+
+
+class UnorderedIterRule(Rule):
+    """No iteration directly over sets in deterministic paths."""
+
+    name = "unordered-iter"
+    nodes = (ast.For, ast.comprehension)
+
+    def applies_to(self, path: str) -> bool:
+        return in_src(path)
+
+    @staticmethod
+    def _unordered(expr: ast.AST) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id in ("set", "frozenset")
+        )
+
+    def check(self, node: ast.AST, ctx: FileContext) -> None:
+        if self._unordered(node.iter):
+            ctx.report(
+                self.name, node.iter,
+                "iteration over a set — order depends on hashing; wrap in"
+                " sorted(...)",
+            )
+
+
+class MessageHandlerRule(Rule):
+    """Every constant message kind sent has a registered handler.
+
+    Registrations (``endpoint.on("kind", h)``) are collected from the
+    whole lint scope including tests; unhandled sends are only reported
+    from protocol source. ``*.reply`` kinds are synthesised by the
+    request/reply machinery and never need explicit handlers.
+    """
+
+    name = "message-handlers"
+    nodes = (ast.Call,)
+
+    def __init__(self) -> None:
+        self.registered: Set[str] = set()
+        #: (path, line, col, kind) for every src send site
+        self.pending: List[Tuple[str, int, int, str]] = []
+
+    @staticmethod
+    def _const_str(node: ast.AST):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        return None
+
+    def check(self, node: ast.Call, ctx: FileContext) -> None:
+        if not isinstance(node.func, ast.Attribute):
+            return
+        attr = node.func.attr
+        if attr == "on" and node.args:
+            kind = self._const_str(node.args[0])
+            if kind is not None:
+                self.registered.add(kind)
+        elif attr in ("send", "request") and len(node.args) >= 2:
+            kind = self._const_str(node.args[1])
+            if kind is None or kind.endswith(".reply"):
+                return
+            if in_tests_or_benchmarks(ctx.path):
+                return
+            if ctx.suppressed(node.lineno, self.name):
+                return
+            self.pending.append(
+                (ctx.path, node.lineno, node.col_offset, kind)
+            )
+
+    def finish(self) -> List[LintFinding]:
+        return [
+            LintFinding(
+                rule=self.name, path=path, line=line, col=col,
+                message=(
+                    f"message kind {kind!r} is sent but no .on({kind!r}, …)"
+                    " handler is registered anywhere in the lint scope"
+                ),
+            )
+            for path, line, col, kind in self.pending
+            if kind not in self.registered
+        ]
+
+
+class SpanCoverageRule(Rule):
+    """Public protocol entry points record causal spans.
+
+    Applies to classes named ``*Protocol``: their ``execute``,
+    ``make_*`` and ``handle_*`` methods must touch the span recorder
+    (a ``.start(`` call, a ``*span*`` identifier, or ``.recorder``
+    access) somewhere in their body. Pure-read handlers can opt out
+    with ``# repro-lint: disable=span-coverage`` plus a justification.
+    """
+
+    name = "span-coverage"
+    nodes = (ast.ClassDef,)
+
+    def applies_to(self, path: str) -> bool:
+        return in_src(path)
+
+    @staticmethod
+    def _is_entry_point(fn: ast.AST) -> bool:
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return False
+        return (
+            fn.name == "execute"
+            or fn.name.startswith("make_")
+            or fn.name.startswith("handle_")
+        )
+
+    @staticmethod
+    def _touches_recorder(fn: ast.AST) -> bool:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Attribute):
+                if node.attr == "recorder" or "span" in node.attr.lower():
+                    return True
+                if (
+                    node.attr == "start"
+                    and isinstance(getattr(node, "ctx", None), ast.Load)
+                ):
+                    return True
+            elif isinstance(node, ast.Name) and "span" in node.id.lower():
+                return True
+        return False
+
+    def check(self, node: ast.ClassDef, ctx: FileContext) -> None:
+        if not node.name.endswith("Protocol"):
+            return
+        for fn in node.body:
+            if not self._is_entry_point(fn):
+                continue
+            if self._touches_recorder(fn):
+                continue
+            ctx.report(
+                self.name, fn,
+                f"{node.name}.{fn.name} is a protocol entry point but"
+                " never touches the span recorder",
+            )
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of every repro lint rule."""
+    return [
+        WallClockRule(),
+        SeededRngRule(),
+        UnorderedIterRule(),
+        MessageHandlerRule(),
+        SpanCoverageRule(),
+    ]

@@ -1,0 +1,150 @@
+"""Single-walk AST lint framework.
+
+A :class:`Linter` parses each file once and walks the tree once,
+dispatching every node to the :class:`Rule` instances that registered
+for its type. Rules report findings through the per-file
+:class:`FileContext`, which applies line-level suppressions of the form::
+
+    risky_call()  # repro-lint: disable=rule-name (justification)
+
+before anything reaches the output. Cross-file rules (e.g. the
+message-handler registry check) accumulate state in ``check`` and emit
+their findings from ``finish`` after every file has been walked.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
+
+#: ``# repro-lint: disable=rule-a,rule-b`` — optionally followed by a
+#: parenthesised justification, which is strongly encouraged
+SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\- ]+)")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule hit, anchored to a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+class FileContext:
+    """Per-file state shared by every rule during one walk."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.source = source
+        self.findings: List[LintFinding] = []
+        #: line number -> set of rule names disabled on that line
+        self.suppressions: Dict[int, Set[str]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = SUPPRESS_RE.search(text)
+            if match:
+                names = {n.strip() for n in match.group(1).split(",")}
+                self.suppressions[lineno] = {n for n in names if n}
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        disabled = self.suppressions.get(line, ())
+        return rule in disabled or "all" in disabled
+
+    def report(self, rule: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        if self.suppressed(line, rule):
+            return
+        self.findings.append(LintFinding(
+            rule=rule,
+            path=self.path,
+            line=line,
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        ))
+
+
+class Rule:
+    """One lint rule. Subclasses set ``name`` and ``nodes`` and
+    implement ``check``; cross-file rules also implement ``finish``."""
+
+    name: str = ""
+    #: AST node types this rule wants to see
+    nodes: Tuple[Type[ast.AST], ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        return True
+
+    def check(self, node: ast.AST, ctx: FileContext) -> None:
+        raise NotImplementedError
+
+    def finish(self) -> List[LintFinding]:
+        return []
+
+
+def in_src(path: str) -> bool:
+    """True for protocol/simulation source (the ``src`` tree)."""
+    return "src" in Path(path).parts
+
+
+def in_tests_or_benchmarks(path: str) -> bool:
+    parts = Path(path).parts
+    return "tests" in parts or "benchmarks" in parts
+
+
+class Linter:
+    """Walk every file once, dispatching nodes to interested rules."""
+
+    def __init__(self, rules: Sequence[Rule]) -> None:
+        self.rules = list(rules)
+
+    def collect_files(self, paths: Iterable[str]) -> List[str]:
+        files: List[str] = []
+        for raw in paths:
+            p = Path(raw)
+            if p.is_dir():
+                files.extend(str(f) for f in p.rglob("*.py"))
+            elif p.suffix == ".py":
+                files.append(str(p))
+        return sorted(set(files))
+
+    def run(self, paths: Iterable[str]) -> List[LintFinding]:
+        findings: List[LintFinding] = []
+        for path in self.collect_files(paths):
+            file_findings = self.lint_file(path)
+            if file_findings:
+                findings.extend(file_findings)
+        for rule in self.rules:
+            findings.extend(rule.finish())
+        return sorted(
+            findings, key=lambda f: (f.path, f.line, f.col, f.rule)
+        )
+
+    def lint_file(self, path: str) -> Optional[List[LintFinding]]:
+        try:
+            source = Path(path).read_text()
+            tree = ast.parse(source, filename=path)
+        except (OSError, SyntaxError) as exc:
+            return [LintFinding(
+                rule="parse", path=path, line=1, col=0,
+                message=f"could not lint: {exc}",
+            )]
+        active = [r for r in self.rules if r.applies_to(path)]
+        if not active:
+            return None
+        dispatch: Dict[Type[ast.AST], List[Rule]] = {}
+        for rule in active:
+            for node_type in rule.nodes:
+                dispatch.setdefault(node_type, []).append(rule)
+        ctx = FileContext(path, source)
+        for node in ast.walk(tree):
+            for rule in dispatch.get(type(node), ()):
+                rule.check(node, ctx)
+        return ctx.findings

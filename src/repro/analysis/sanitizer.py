@@ -1,0 +1,402 @@
+"""The runtime protocol sanitizer.
+
+Opt-in (``SystemConfig.sanitize=True`` or ``python -m repro check``): a
+:class:`ProtocolSanitizer` attaches to a built system through three
+existing hook layers — the duck-typed ``monitor`` slots on every site's
+:class:`~repro.core.av_table.AVTable` and
+:class:`~repro.db.locks.LockManager`, the network's observer tap, and
+the observability hub's event bus — and audits every event against the
+paper's invariants (see :mod:`repro.analysis.invariants` and
+:mod:`repro.analysis.hb`).  No protocol code changes behaviour when the
+sanitizer is absent; each hook costs one ``is None`` check.
+
+Severity policy
+---------------
+Volume that vanishes *conservatively* (a grant or rebalancer push
+dropped in transit: headroom shrinks, nothing can over-spend) is a
+warning.  A dropped ``prop.push`` is a **violation**: the owed balance
+was already claimed by the sender, so the delta can never reach the
+replica again — permanent divergence.  Stale-belief findings are
+warnings: the paper's design tolerates them (the gather loop retries),
+but the counts are reported so a regression in belief freshness is
+visible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.hb import CausalOrder
+from repro.analysis.invariants import (
+    AVConservation,
+    HoldRegistry,
+    LockAudit,
+    SanitizerReport,
+    Violation,
+)
+
+
+class ProtocolSanitizer:
+    """Attaches to a :class:`~repro.cluster.system.DistributedSystem`."""
+
+    EPS = 1e-6
+
+    def __init__(self, max_hb_samples: int = 10) -> None:
+        self.report = SanitizerReport()
+        self.conservation = AVConservation(self.report)
+        self.holds = HoldRegistry(self.report)
+        self.locks = LockAudit(self.report)
+        self.causal = CausalOrder(max_samples=max_hb_samples)
+        self.events = 0
+        self.system = None
+        self._env = None
+        #: defined sites per item (tracks full undefinition epochs)
+        self._defined: Dict[str, set] = {}
+        #: av.request msg_id -> item (to classify the reply)
+        self._av_requests: Dict[int, str] = {}
+        #: in-flight grant replies: msg_id -> (item, granted)
+        self._grants: Dict[int, Tuple[str, float]] = {}
+        #: in-flight av.push volume: msg_id -> (item, amount)
+        self._pushes: Dict[int, Tuple[str, float]] = {}
+        #: in-flight propagation deltas: msg_id -> (item, delta, dst, ctx)
+        self._props: Dict[int, tuple] = {}
+        self._finished = False
+
+    # ------------------------------------------------------------- #
+    # wiring
+    # ------------------------------------------------------------- #
+
+    def attach(self, system) -> "ProtocolSanitizer":
+        """Install hooks on every site and fold in the bootstrap state."""
+        self.system = system
+        self._env = system.env
+        for name in sorted(system.sites):
+            site = system.sites[name]
+            accel = site.accelerator
+            accel.av_table.monitor = self
+            accel.locks.monitor = self
+            for item, volume in sorted(accel.av_table.items()):
+                self.conservation.baseline(item, volume)
+                self._defined.setdefault(item, set()).add(name)
+        system.network.observers.append(self._on_message)
+        system.obs.event_subscribers.append(self._on_emit)
+        return self
+
+    @property
+    def now(self) -> float:
+        return self._env.now if self._env is not None else 0.0
+
+    # ------------------------------------------------------------- #
+    # AVTable monitor (duck-typed)
+    # ------------------------------------------------------------- #
+
+    def av_event(self, table, op: str, item: str, amount: float, hold=None) -> None:
+        self.events += 1
+        site, now, cons = table.site, self.now, self.conservation
+        if op == "add":
+            cons.table_delta(item, amount, site, now)
+        elif op == "take":
+            cons.table_delta(item, -amount, site, now)
+        elif op == "define":
+            # New headroom first, then the table entry: the sum never
+            # transiently exceeds the bound.
+            cons.headroom_delta(item, amount, site, now)
+            cons.table_delta(item, amount, site, now)
+            self._defined.setdefault(item, set()).add(site)
+        elif op == "undefine":
+            cons.table_delta(item, -amount, site, now)
+            cons.headroom_delta(item, -amount, site, now)
+            defined = self._defined.get(item)
+            if defined is not None:
+                defined.discard(site)
+                if not defined:
+                    self._end_epoch(item, now)
+        elif op == "hold.open":
+            self.holds.on_open(site, hold, now)
+        elif op == "hold.add":
+            cons.holds_delta(item, amount, site, now)
+        elif op == "hold.consume":
+            # The full held volume leaves the holds account and the
+            # needed part leaves headroom; the excess re-enters the
+            # table via a separate "add" right after.
+            cons.holds_delta(item, -hold.amount, site, now)
+            cons.headroom_delta(item, -amount, site, now)
+            self.holds.on_close(site, hold, now)
+        elif op == "hold.release":
+            cons.holds_delta(item, -amount, site, now)
+            self.holds.on_close(site, hold, now)
+        elif op == "hold.reclose":
+            self.holds.on_reclose(site, hold, now)
+
+    def _end_epoch(self, item: str, now: float) -> None:
+        """No site defines ``item`` any more: close its AV epoch.
+
+        Residual headroom (volume conservatively lost in transit during
+        the epoch) must not leak into a future re-definition of the
+        item, so the accounts reset to zero.  A *negative* residual
+        would mean more AV existed than headroom — report it.
+        """
+        cons = self.conservation
+        residual = cons.headroom.get(item, 0.0)
+        if residual < -self.EPS:
+            self.report.violations.append(Violation(
+                rule="av.conservation",
+                item=item,
+                time=now,
+                detail=f"negative residual headroom {residual:g} at undefinition",
+            ))
+        cons.headroom[item] = 0.0
+        cons.av_sum[item] = 0.0
+
+    # ------------------------------------------------------------- #
+    # LockManager monitor (duck-typed)
+    # ------------------------------------------------------------- #
+
+    def lock_event(self, manager, op, item, owner, mode, span_id,
+                   holders, queue) -> None:
+        self.events += 1
+        name = manager.name
+        site = name[:-len(".locks")] if name.endswith(".locks") else name
+        self.locks.on_event(site, op, item, owner, span_id, holders, queue, self.now)
+
+    # ------------------------------------------------------------- #
+    # network observer
+    # ------------------------------------------------------------- #
+
+    def _on_message(self, event: str, now: float, msg) -> None:
+        self.events += 1
+        if event == "send":
+            self.causal.on_send(msg.src, msg.msg_id)
+        elif event == "recv":
+            self.causal.on_recv(msg.dst, msg.msg_id)
+        else:
+            self.causal.on_drop(msg.msg_id)
+
+        kind = msg.kind
+        if kind == "av.request":
+            if event == "send":
+                self._av_requests[msg.msg_id] = msg.payload["item"]
+            elif event == "drop":
+                self._av_requests.pop(msg.msg_id, None)
+        elif kind == "av.request.reply":
+            self._track_grant(event, now, msg)
+        elif kind == "av.push":
+            self._track_push(event, now, msg)
+        elif kind == "prop.push":
+            self._track_prop(event, now, msg)
+
+    def _track_grant(self, event: str, now: float, msg) -> None:
+        if event == "send":
+            item = self._av_requests.pop(msg.reply_to, None)
+            if item is None:
+                return
+            granted = msg.payload.get("granted", 0.0)
+            self.causal.on_grant(
+                msg.src, item, msg.payload.get("av_after", 0.0), now, msg.msg_id
+            )
+            if granted > 0:
+                self._grants[msg.msg_id] = (item, granted)
+                self.conservation.transit_delta(item, granted, now)
+            return
+        entry = self._grants.pop(msg.msg_id, None)
+        if entry is None:
+            return
+        item, granted = entry
+        self.conservation.transit_delta(item, -granted, now)
+        if event == "drop":
+            # Conservative loss: the granted volume exists nowhere now.
+            self.report.warnings.append(Violation(
+                rule="av.grant-lost",
+                item=item,
+                site=msg.dst,
+                msg_id=msg.msg_id,
+                time=now,
+                severity="warning",
+                detail=f"grant of {granted:g} dropped in transit to {msg.dst}",
+            ))
+
+    def _track_push(self, event: str, now: float, msg) -> None:
+        if event == "send":
+            item, amount = msg.payload["item"], msg.payload["amount"]
+            if amount > 0:
+                self._pushes[msg.msg_id] = (item, amount)
+                self.conservation.transit_delta(item, amount, now)
+            return
+        entry = self._pushes.pop(msg.msg_id, None)
+        if entry is None:
+            return
+        item, amount = entry
+        self.conservation.transit_delta(item, -amount, now)
+        if event == "drop":
+            self.report.warnings.append(Violation(
+                rule="av.push-lost",
+                item=item,
+                site=msg.dst,
+                msg_id=msg.msg_id,
+                time=now,
+                severity="warning",
+                detail=f"rebalancer push of {amount:g} dropped in transit to {msg.dst}",
+            ))
+
+    def _track_prop(self, event: str, now: float, msg) -> None:
+        if event == "send":
+            ctx = msg.payload.get("_obs")
+            self._props[msg.msg_id] = (
+                msg.payload["item"], msg.payload["delta"], msg.dst, ctx
+            )
+            return
+        entry = self._props.pop(msg.msg_id, None)
+        if entry is None or event == "recv":
+            return
+        item, delta, dst, ctx = entry
+        # There is no retransmit path for propagation deltas: the
+        # sender already claimed the owed balance, so this replica can
+        # never converge for the item — a real divergence, not a
+        # conservative loss.
+        self.report.violations.append(Violation(
+            rule="prop.lost",
+            item=item,
+            site=dst,
+            trace_id=ctx["trace"] if ctx else None,
+            span_id=ctx["span"] if ctx else None,
+            msg_id=msg.msg_id,
+            time=now,
+            detail=f"propagation delta {delta:g} to {dst} dropped — replica diverges",
+        ))
+
+    # ------------------------------------------------------------- #
+    # obs event bus
+    # ------------------------------------------------------------- #
+
+    def _on_emit(self, kind: str, now: float, fields: dict) -> None:
+        self.events += 1
+        if kind == "av.mint":
+            self.conservation.headroom_delta(
+                fields["item"], fields["amount"], fields["site"], now
+            )
+        elif kind == "av.spend":
+            self.conservation.headroom_delta(
+                fields["item"], -fields["amount"], fields["site"], now
+            )
+        elif kind == "av.select":
+            self.causal.on_select(
+                fields["site"], fields["item"], fields["target"],
+                fields.get("believed"), now,
+                trace=fields.get("trace"), span=fields.get("span"),
+            )
+
+    # ------------------------------------------------------------- #
+    # teardown
+    # ------------------------------------------------------------- #
+
+    def finish(self) -> SanitizerReport:
+        """Run the end-of-run audits and return the report (idempotent)."""
+        if self._finished:
+            return self.report
+        self._finished = True
+        now = self.now
+        report = self.report
+
+        self.holds.finish(now)
+        self._drift_audit(now)
+        self._headroom_audit(now)
+
+        for item in sorted(self.conservation.in_flight):
+            amount = self.conservation.in_flight[item]
+            if abs(amount) > self.EPS:
+                report.warnings.append(Violation(
+                    rule="net.in-flight",
+                    item=item,
+                    time=now,
+                    severity="warning",
+                    detail=f"{amount:g} AV still in transit at teardown (undrained run?)",
+                ))
+
+        if self.causal.stale_races:
+            report.warnings.append(Violation(
+                rule="hb.stale-belief-race",
+                time=now,
+                severity="warning",
+                detail=(
+                    f"{self.causal.stale_races} selection(s) concurrent with an"
+                    " invalidating grant (tolerated by design; high rates mean"
+                    " belief refresh lags)"
+                ),
+            ))
+        if self.causal.belief_lags:
+            report.warnings.append(Violation(
+                rule="hb.belief-lag",
+                time=now,
+                severity="warning",
+                detail=(
+                    f"{self.causal.belief_lags} selection(s) causally after an"
+                    " invalidating grant yet acting on the stale level"
+                ),
+            ))
+        report.hb_samples = list(self.causal.samples)
+
+        backlog = 0
+        if self.system is not None:
+            for site in self.system.sites.values():
+                backlog += len(site.accelerator.owed)
+
+        report.counters.update({
+            "events": self.events,
+            "conservation_checks": self.conservation.checks,
+            "holds_opened": self.holds.opened,
+            "holds_closed": self.holds.closed,
+            "stale_belief_races": self.causal.stale_races,
+            "belief_lags": self.causal.belief_lags,
+            "deadlocks": self.locks.deadlocks,
+            "unsynced_balances": backlog,
+        })
+        return report
+
+    def _drift_audit(self, now: float) -> None:
+        """Cross-check the incremental table sums against ground truth.
+
+        A mismatch means an AV mutation bypassed the monitor — an
+        instrumentation gap, reported so it cannot silently rot.
+        """
+        if self.system is None:
+            return
+        actual: Dict[str, float] = {}
+        for site in self.system.sites.values():
+            for item, volume in site.accelerator.av_table.items():
+                actual[item] = actual.get(item, 0.0) + volume
+        for item in sorted(set(self.conservation.av_sum) | set(actual)):
+            tracked = self.conservation.av_sum.get(item, 0.0)
+            real = actual.get(item, 0.0)
+            if abs(tracked - real) > self.EPS:
+                self.report.violations.append(Violation(
+                    rule="sanitizer.drift",
+                    item=item,
+                    time=now,
+                    detail=(
+                        f"tracked table sum {tracked:g} != actual {real:g}"
+                        " — an AV mutation bypassed the monitor"
+                    ),
+                ))
+
+    def _headroom_audit(self, now: float) -> None:
+        """Headroom must never exceed the ledger's ground-truth stock."""
+        if self.system is None:
+            return
+        ledger = self.system.collector.ledger
+        for item in sorted(self._defined):
+            if not self._defined[item]:
+                continue
+            bound = ledger.true_value(item) if item in ledger.items() else None
+            if bound is None:
+                continue
+            headroom = self.conservation.headroom.get(item, 0.0)
+            if headroom > bound + self.EPS:
+                self.report.violations.append(Violation(
+                    rule="av.headroom",
+                    item=item,
+                    time=now,
+                    detail=(
+                        f"headroom {headroom:g} exceeds ground-truth stock"
+                        f" {bound:g}"
+                    ),
+                ))

@@ -66,6 +66,22 @@ def _cmd_observe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.analysis import run_check
+
+    updates = args.updates
+    if args.small:
+        updates = min(updates, 150)
+    run = run_check(
+        experiment=args.experiment,
+        n_updates=updates,
+        seed=args.seed,
+        n_items=args.items,
+    )
+    print(run.render())
+    return 0 if run.ok else 1
+
+
 def _cmd_ablations(args: argparse.Namespace) -> int:
     from repro.experiments import (
         ABLATION_HEADERS,
@@ -234,6 +250,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="write spans + metrics + samples as line-delimited JSON",
     )
     p.set_defaults(fn=_cmd_observe)
+
+    p = sub.add_parser(
+        "check",
+        help="replay an experiment under the runtime protocol sanitizer",
+    )
+    p.add_argument(
+        "experiment", choices=["fig6", "table1"],
+        help="whose workload to replay",
+    )
+    p.add_argument("--updates", type=int, default=1000,
+                   help="total updates to issue (default 1000)")
+    p.add_argument("--seed", type=int, default=0, help="root seed")
+    p.add_argument("--items", type=int, default=10,
+                   help="catalogue size (default 10, the calibrated value)")
+    p.add_argument(
+        "--small", action="store_true",
+        help="cap the workload at 150 updates (quick CI gate)",
+    )
+    p.set_defaults(fn=_cmd_check)
 
     p = sub.add_parser("ablations", help="run design-choice ablations")
     common(p)

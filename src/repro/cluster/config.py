@@ -63,6 +63,11 @@ class SystemConfig:
     #: record causal spans + metric registry (repro.obs); off by default
     #: so unobserved runs pay only null-recorder calls
     observe: bool = False
+    #: attach the runtime protocol sanitizer (repro.analysis): audits AV
+    #: conservation, hold lifecycle, lock order/deadlock and belief
+    #: staleness on every event. Off by default — each hook site then
+    #: costs one ``is None`` check
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.n_retailers < 1:

@@ -61,6 +61,8 @@ class DistributedSystem:
         self.collector = collector
         #: the run's observability hub (NULL_OBS when config.observe off)
         self.obs = obs if obs is not None else NULL_OBS
+        #: the runtime sanitizer (set by build() when config.sanitize)
+        self.sanitizer = None
 
     # ---------------------------------------------------------------- #
     # construction
@@ -102,7 +104,14 @@ class DistributedSystem:
         # NULL_OBS is a shared singleton, so the collector must only be
         # handed the registry of a run-private (enabled) hub — otherwise
         # every unobserved run would accumulate into one global registry.
-        obs = Observability(enabled=True) if config.observe else NULL_OBS
+        # The sanitizer subscribes to the hub's event bus, so it too
+        # needs a run-private hub (possibly with recording disabled).
+        if config.observe:
+            obs = Observability(enabled=True)
+        elif config.sanitize:
+            obs = Observability(enabled=False)
+        else:
+            obs = NULL_OBS
         collector = MetricsCollector(
             registry=obs.registry if config.observe else None
         )
@@ -139,10 +148,17 @@ class DistributedSystem:
             av_weights=config.av_weights,
             base=config.maker,
         )
-        return cls(
+        system = cls(
             config, env, network, rngs, tracer, catalog, sites, collector,
             obs=obs,
         )
+        if config.sanitize:
+            # Attach after bootstrap so the sanitizer baselines from the
+            # settled AV allocation.
+            from repro.analysis.sanitizer import ProtocolSanitizer
+
+            system.sanitizer = ProtocolSanitizer().attach(system)
+        return system
 
     # ---------------------------------------------------------------- #
     # access

@@ -54,6 +54,9 @@ class Accelerator:
         (believed-richest, SODA'99 half-grant).
     rng:
         Random stream for protocol jitter (immediate-update backoff).
+        Required: pass a dedicated :class:`~repro.sim.rng.RngRegistry`
+        stream; there is deliberately no seeded default (two sites
+        sharing stream 0 is a silent determinism bug).
     propagate:
         Push committed Delay deltas to peers asynchronously.
     request_timeout:
@@ -93,7 +96,14 @@ class Accelerator:
         self.txns = TransactionManager(store, clock=lambda: self.env.now)
         self.strategy = strategy if strategy is not None else BelievedRichestStrategy()
         self.policy = policy if policy is not None else Soda99Policy()
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        if rng is None:
+            # A default seed here would silently hand every accelerator
+            # the *same* stream; thread one from RngRegistry instead
+            # (e.g. ``rngs.stream(f"accel.{site}")``).
+            raise ValueError(
+                f"Accelerator {self.site!r} requires an explicit rng stream"
+            )
+        self.rng = rng
         self.tracer = tracer if tracer is not None else NullTracer()
         self.obs = obs if obs is not None else NULL_OBS
         self.propagate = propagate
@@ -313,16 +323,18 @@ class Accelerator:
 
         sent = 0
         live = set(self.live_peers())
-        span = self.obs.recorder.start(
+        rec = self.obs.recorder
+        span = rec.start(
             "sync.push", self.site, self.now, parent=parent, item=item
         )
         for peer in sorted(live):
             delta = self.owed.pop((peer, item), 0.0)
             if delta == 0.0:
                 continue
-            self.endpoint.send(
-                peer, "prop.push", {"item": item, "delta": delta}, tag=TAG_PROPAGATE
-            )
+            payload = {"item": item, "delta": delta}
+            if rec.enabled:
+                payload["_obs"] = {"trace": span.trace_id, "span": span.span_id}
+            self.endpoint.send(peer, "prop.push", payload, tag=TAG_PROPAGATE)
             sent += 1
         span.finish(self.now, messages=sent)
         if sent:

@@ -15,7 +15,7 @@ transaction").
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 from repro.core.errors import AVUndefined, InsufficientAV, InvalidVolume
 
@@ -25,16 +25,26 @@ class Hold:
 
     Accumulates volume (local takes and peer grants); at the end the
     protocol either :meth:`consume`\\ s the needed amount (returning any
-    excess to the table) or :meth:`release`\\ s everything back.
+    excess to the table) or :meth:`release`\\ s everything back. ``ctx``
+    carries the opening update's ``(trace_id, span_id)`` so lifecycle
+    diagnostics (leaks, double-closes) can name the responsible span.
     """
 
-    __slots__ = ("table", "item", "amount", "closed")
+    __slots__ = ("table", "item", "amount", "closed", "hold_id", "ctx")
 
-    def __init__(self, table: "AVTable", item: str) -> None:
+    def __init__(
+        self,
+        table: "AVTable",
+        item: str,
+        hold_id: int = 0,
+        ctx: Optional[Tuple[str, int]] = None,
+    ) -> None:
         self.table = table
         self.item = item
         self.amount = 0.0
         self.closed = False
+        self.hold_id = hold_id
+        self.ctx = ctx
 
     def add(self, amount: float) -> None:
         """Add volume (from a local take or a peer grant) to the hold."""
@@ -42,6 +52,9 @@ class Hold:
         if amount < 0:
             raise InvalidVolume(f"cannot hold negative volume {amount}")
         self.amount += amount
+        m = self.table.monitor
+        if m is not None:
+            m.av_event(self.table, "hold.add", self.item, amount, hold=self)
 
     def consume(self, needed: float) -> None:
         """Spend ``needed`` from the hold; excess returns to the table."""
@@ -51,21 +64,36 @@ class Hold:
         if needed > self.amount + 1e-9:
             raise InsufficientAV(self.item, self.amount, needed)
         excess = self.amount - needed
-        if excess > 0:
-            self.table.add(self.item, excess)
+        # Notify before mutating: the monitor sees the hold's full volume
+        # leave the holds account before the excess re-enters the table,
+        # so the conservation sum only ever dips (safe for a <= bound).
+        m = self.table.monitor
+        if m is not None:
+            m.av_event(self.table, "hold.consume", self.item, needed, hold=self)
         self.amount = 0.0
         self.closed = True
+        self.table.open_holds -= 1
+        if excess > 0:
+            self.table.add(self.item, excess)
 
     def release(self) -> None:
         """Return the entire hold to the table (update gave up)."""
         self._check_open()
-        if self.amount > 0:
-            self.table.add(self.item, self.amount)
+        returned = self.amount
+        m = self.table.monitor
+        if m is not None:
+            m.av_event(self.table, "hold.release", self.item, returned, hold=self)
         self.amount = 0.0
         self.closed = True
+        self.table.open_holds -= 1
+        if returned > 0:
+            self.table.add(self.item, returned)
 
     def _check_open(self) -> None:
         if self.closed:
+            m = self.table.monitor
+            if m is not None:
+                m.av_event(self.table, "hold.reclose", self.item, 0.0, hold=self)
             raise InvalidVolume(f"hold on {self.item!r} already closed")
 
     def __repr__(self) -> str:
@@ -87,6 +115,12 @@ class AVTable:
         self._av: Dict[str, float] = {}
         #: open holds (diagnostic; should be empty at quiescence)
         self.open_holds = 0
+        #: optional duck-typed observer with an
+        #: ``av_event(table, op, item, amount, hold=None)`` method; the
+        #: runtime sanitizer installs one. ``None`` keeps every op at a
+        #: single extra attribute check.
+        self.monitor = None
+        self._hold_seq = 0
 
     # ---------------------------------------------------------------- #
     # the checking-function predicate
@@ -106,13 +140,18 @@ class AVTable:
             raise InvalidVolume(f"AV for {item!r} already defined at {self.site}")
         if initial < 0:
             raise InvalidVolume(f"negative initial AV {initial}")
+        if self.monitor is not None:
+            self.monitor.av_event(self, "define", item, float(initial))
         self._av[item] = float(initial)
 
     def undefine(self, item: str) -> float:
         """Remove ``item`` from AV management; returns the dropped volume."""
         if item not in self._av:
             raise AVUndefined(item)
-        return self._av.pop(item)
+        dropped = self._av.pop(item)
+        if self.monitor is not None:
+            self.monitor.av_event(self, "undefine", item, dropped)
+        return dropped
 
     # ---------------------------------------------------------------- #
     # volume movement
@@ -132,6 +171,8 @@ class AVTable:
         if item not in self._av:
             raise AVUndefined(item)
         self._av[item] += amount
+        if self.monitor is not None:
+            self.monitor.av_event(self, "add", item, amount)
         return self._av[item]
 
     def take(self, item: str, amount: float) -> float:
@@ -142,6 +183,8 @@ class AVTable:
         if amount > available + 1e-9:
             raise InsufficientAV(item, available, amount)
         self._av[item] = available - amount
+        if self.monitor is not None:
+            self.monitor.av_event(self, "take", item, amount)
         return amount
 
     def take_up_to(self, item: str, amount: float) -> float:
@@ -151,19 +194,32 @@ class AVTable:
         available = self.get(item)
         taken = min(amount, available)
         self._av[item] = available - taken
+        if self.monitor is not None:
+            self.monitor.av_event(self, "take", item, taken)
         return taken
 
     def take_all(self, item: str) -> float:
         """Drain the item's AV (paper: "holds all the AV at the site")."""
         available = self.get(item)
         self._av[item] = 0.0
+        if self.monitor is not None:
+            self.monitor.av_event(self, "take", item, available)
         return available
 
-    def hold(self, item: str) -> Hold:
-        """Open a :class:`Hold` for an in-progress update on ``item``."""
+    def hold(self, item: str, ctx: Optional[Tuple[str, int]] = None) -> Hold:
+        """Open a :class:`Hold` for an in-progress update on ``item``.
+
+        ``ctx`` is the opening update's ``(trace_id, span_id)``, attached
+        to the hold for lifecycle diagnostics.
+        """
         if item not in self._av:
             raise AVUndefined(item)
-        return Hold(self, item)
+        self._hold_seq += 1
+        self.open_holds += 1
+        h = Hold(self, item, hold_id=self._hold_seq, ctx=ctx)
+        if self.monitor is not None:
+            self.monitor.av_event(self, "hold.open", item, 0.0, hold=h)
+        return h
 
     # ---------------------------------------------------------------- #
     # views

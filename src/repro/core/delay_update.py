@@ -102,6 +102,10 @@ class DelayUpdateProtocol:
         if delta >= 0:
             # Increase: new stock is new headroom — mint AV locally.
             self._apply(item, delta, span)
+            # Mint raises the conserved headroom; announce it before the
+            # table grows so the conservation sum never transiently
+            # exceeds the bound.
+            accel.obs.emit("av.mint", accel.now, site=accel.site, item=item, amount=delta)
             av.add(item, delta)
             accel.trace("delay.local", f"{req} minted {delta:g} AV")
             self._propagate(item, delta, span)
@@ -111,6 +115,9 @@ class DelayUpdateProtocol:
         if av.get(item) >= need:
             # The paper's headline path: complete within the local site.
             av.take(item, need)
+            # Spend shrinks headroom; announce after the take so the sum
+            # only dips in between.
+            accel.obs.emit("av.spend", accel.now, site=accel.site, item=item, amount=need)
             self._apply(item, delta, span)
             accel.trace("delay.local", f"{req} covered by local AV")
             self._propagate(item, delta, span)
@@ -123,7 +130,12 @@ class DelayUpdateProtocol:
             return self._done(req, UpdateOutcome.REJECTED)
 
         # Local AV insufficient: hold everything we have and go shopping.
-        hold = av.hold(item)
+        hold_ctx = (
+            (span.trace_id, span.span_id)
+            if span is not None and span.span_id
+            else None
+        )
+        hold = av.hold(item, ctx=hold_ctx)
         hold.add(av.take_all(item))
         accel.trace("delay.gather", f"{req} holding {hold.amount:g}, need {need:g}")
 
@@ -141,6 +153,16 @@ class DelayUpdateProtocol:
                 item, accel.live_peers(), frozenset(tried), accel.beliefs
             )
             select_span.finish(accel.now, target=target or "<none>")
+            if target is not None:
+                # The happens-before checker correlates this decision
+                # with the grants that shaped (or should have shaped)
+                # the belief it acted on.
+                accel.obs.emit(
+                    "av.select", accel.now,
+                    site=accel.site, item=item, target=target,
+                    believed=accel.beliefs.believed_volume(target, item),
+                    trace=select_span.trace_id, span=select_span.span_id,
+                )
             if target is None:
                 # Everyone asked once this round. Retry only if somebody
                 # granted something (otherwise the system is dry).
@@ -269,9 +291,14 @@ class DelayUpdateProtocol:
         accel = self.accel
         item = msg.payload["item"]
         amount = msg.payload["amount"]
+        push_span = accel.obs.recorder.start(
+            "av.push.apply", accel.site, accel.now,
+            item=item, amount=amount, sender=msg.src,
+        )
         if not accel.av_table.defined(item):
             if msg.payload.get("bounced"):
                 accel.trace("rebal.drop", f"{amount:g} {item} (both ends closed)")
+                push_span.finish(accel.now, dropped=True)
                 return
             accel.endpoint.send(
                 msg.src,
@@ -279,11 +306,13 @@ class DelayUpdateProtocol:
                 {"item": item, "amount": amount, "sender_av": 0.0, "bounced": True},
                 tag=msg.tag,
             )
+            push_span.finish(accel.now, bounced=True)
             return
         accel.av_table.add(item, amount)
         accel.beliefs.observe(
             msg.src, item, msg.payload.get("sender_av", 0.0), accel.now
         )
+        push_span.finish(accel.now, accepted=True)
 
     # ---------------------------------------------------------------- #
     # lazy propagation
@@ -291,9 +320,19 @@ class DelayUpdateProtocol:
 
     def handle_propagation(self, msg):
         """Apply a peer's committed delta to our replica."""
+        accel = self.accel
+        rec = accel.obs.recorder
         item, delta = msg.payload["item"], msg.payload["delta"]
+        ctx = msg.payload.get("_obs") if rec.enabled else None
+        apply_span = rec.start(
+            "prop.apply", accel.site, accel.now,
+            trace=ctx["trace"] if ctx else None,
+            parent=ctx["span"] if ctx else None,
+            item=item, delta=delta, src=msg.src,
+        )
         # force: replicas may transiently dip negative (see module docs).
-        self.accel.store.apply_delta(item, delta, now=self.accel.now, force=True)
+        accel.store.apply_delta(item, delta, now=accel.now, force=True)
+        apply_span.finish(accel.now)
 
     def _propagate(self, item: str, delta: float, span=None) -> None:
         """Record or push a committed delta for replica convergence.
@@ -311,14 +350,21 @@ class DelayUpdateProtocol:
         if not accel.propagate:
             accel.record_unsynced(item, delta)
             return
-        prop_span = accel.obs.recorder.start(
+        rec = accel.obs.recorder
+        prop_span = rec.start(
             "prop.push", accel.site, accel.now, parent=span, item=item
         )
         pushed = 0
         for peer in accel.live_peers():
-            accel.endpoint.send(
-                peer, "prop.push", {"item": item, "delta": delta}, tag=TAG_PROPAGATE
-            )
+            payload = {"item": item, "delta": delta}
+            if rec.enabled:
+                # Receivers parent their prop.apply span under this push
+                # (and the sanitizer names it if the delta is lost).
+                payload["_obs"] = {
+                    "trace": prop_span.trace_id,
+                    "span": prop_span.span_id,
+                }
+            accel.endpoint.send(peer, "prop.push", payload, tag=TAG_PROPAGATE)
             pushed += 1
         prop_span.finish(accel.now, peers=pushed)
 

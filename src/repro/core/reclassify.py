@@ -70,12 +70,14 @@ class ReclassificationProtocol:
     ):
         """Generator: convert a non-regular item to regular everywhere."""
         accel = self.accel
+        rec = accel.obs.recorder
         if accel.av_table.defined(item):
             raise ReclassificationError(f"{item!r} is already regular")
         if not 0.0 <= av_fraction <= 1.0:
             raise ReclassificationError(f"av_fraction {av_fraction} not in [0, 1]")
         self.coordinated += 1
         token = f"cls:{accel.site}:{item}:{next(accel._req_ids)}"
+        root = rec.start("cls.regular", accel.site, accel.now, item=item)
 
         order = sorted([accel.site, *accel.live_peers()])
         peers = [s for s in order if s != accel.site]
@@ -84,11 +86,20 @@ class ReclassificationProtocol:
         # are identical by invariant, so no value collection is needed).
         for site in order:
             if site == accel.site:
-                yield accel.locks.acquire(item, token, LockMode.EXCLUSIVE)
+                yield accel.locks.acquire(
+                    item, token, LockMode.EXCLUSIVE,
+                    span_id=root.span_id or None,
+                )
             else:
+                payload = {"item": item, "token": token}
+                if rec.enabled:
+                    # Participants parent their cls.lock span here.
+                    payload["_obs"] = {
+                        "trace": root.trace_id,
+                        "span": root.span_id,
+                    }
                 yield accel.endpoint.request(
-                    site, "cls.lock", {"item": item, "token": token},
-                    tag=TAG_RECLASS,
+                    site, "cls.lock", payload, tag=TAG_RECLASS
                 )
 
         # Decide the split from the (consistent) current value.
@@ -119,16 +130,19 @@ class ReclassificationProtocol:
         yield accel.env.all_of(acks)
         accel.av_table.define(item, shares[accel.site])
         accel.locks.release(item, token)
+        root.finish(accel.now, sites=len(order))
         accel.trace("cls.regular", f"{item} AV split {shares}")
         return shares
 
     def make_non_regular(self, item: str):
         """Generator: convert a regular item to non-regular everywhere."""
         accel = self.accel
+        rec = accel.obs.recorder
         if not accel.av_table.defined(item):
             raise ReclassificationError(f"{item!r} is already non-regular")
         self.coordinated += 1
         token = f"cls:{accel.site}:{item}:{next(accel._req_ids)}"
+        root = rec.start("cls.nonregular", accel.site, accel.now, item=item)
 
         order = sorted([accel.site, *accel.live_peers()])
         peers = [s for s in order if s != accel.site]
@@ -140,11 +154,20 @@ class ReclassificationProtocol:
             if site == accel.site:
                 accel.freeze(item)
                 yield accel.quiesce(item)
-                yield accel.locks.acquire(item, token, LockMode.EXCLUSIVE)
+                yield accel.locks.acquire(
+                    item, token, LockMode.EXCLUSIVE,
+                    span_id=root.span_id or None,
+                )
             else:
+                payload = {"item": item, "token": token}
+                if rec.enabled:
+                    # Participants parent their cls.lock span here.
+                    payload["_obs"] = {
+                        "trace": root.trace_id,
+                        "span": root.span_id,
+                    }
                 reply = yield accel.endpoint.request(
-                    site, "cls.lock", {"item": item, "token": token},
-                    tag=TAG_RECLASS,
+                    site, "cls.lock", payload, tag=TAG_RECLASS
                 )
                 unsynced_total += reply["unsynced"]
 
@@ -169,6 +192,7 @@ class ReclassificationProtocol:
         accel.store.set_value(item, true_value, now=accel.now)
         accel.unfreeze(item)
         accel.locks.release(item, token)
+        root.finish(accel.now, sites=len(order), value=true_value)
         accel.trace("cls.nonregular", f"{item} reconciled to {true_value:g}")
         return true_value
 
@@ -183,13 +207,24 @@ class ReclassificationProtocol:
         coordinator: it is removed here so no later sync double-sends).
         """
         accel = self.accel
+        rec = accel.obs.recorder
         item = msg.payload["item"]
         token = msg.payload["token"]
+        ctx = msg.payload.get("_obs") if rec.enabled else None
 
         def locker():
+            span = rec.start(
+                "cls.lock", accel.site, accel.now,
+                trace=ctx["trace"] if ctx else None,
+                parent=ctx["span"] if ctx else None,
+                item=item,
+            )
             accel.freeze(item)
             yield accel.quiesce(item)
-            yield accel.locks.acquire(item, token, LockMode.EXCLUSIVE)
+            yield accel.locks.acquire(
+                item, token, LockMode.EXCLUSIVE, span_id=span.span_id or None
+            )
+            span.finish(accel.now)
             # Report the balance owed to the coordinator; everything
             # owed to other peers is superseded by the value the commit
             # installs, so it is dropped there.
@@ -200,18 +235,26 @@ class ReclassificationProtocol:
     def handle_to_regular(self, msg):
         accel = self.accel
         item = msg.payload["item"]
+        span = accel.obs.recorder.start(
+            "cls.apply", accel.site, accel.now, item=item, to="regular"
+        )
         accel.av_table.define(item, msg.payload["share"])
         accel.unfreeze(item)
         accel.locks.release(item, msg.payload["token"])
+        span.finish(accel.now)
         return {"done": True}
 
     def handle_to_nonregular(self, msg):
         accel = self.accel
         item = msg.payload["item"]
+        span = accel.obs.recorder.start(
+            "cls.apply", accel.site, accel.now, item=item, to="nonregular"
+        )
         if accel.av_table.defined(item):
             accel.av_table.undefine(item)
         accel.clear_owed_item(item)  # superseded by the installed value
         accel.store.set_value(item, msg.payload["value"], now=accel.now)
         accel.unfreeze(item)
         accel.locks.release(item, msg.payload["token"])
+        span.finish(accel.now)
         return {"done": True}

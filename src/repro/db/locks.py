@@ -67,6 +67,31 @@ class LockManager:
         self.grants = 0
         #: maximum simultaneous waiters observed (diagnostic)
         self.max_queue = 0
+        #: optional duck-typed observer with a
+        #: ``lock_event(manager, op, item, owner, mode, span_id, holders,
+        #: queue)`` method; the runtime sanitizer installs one to rebuild
+        #: wait-for edges. ``None`` keeps every op at one extra check.
+        self.monitor = None
+
+    def _notify(
+        self,
+        op: str,
+        item: str,
+        owner: str,
+        mode: Optional[LockMode],
+        span_id: Optional[int],
+        lock: _ItemLock,
+    ) -> None:
+        self.monitor.lock_event(
+            self,
+            op,
+            item,
+            owner,
+            mode,
+            span_id,
+            dict(lock.holders),
+            [(w.owner, w.mode) for w in lock.queue],
+        )
 
     def _lock(self, item: str) -> _ItemLock:
         lock = self._locks.get(item)
@@ -79,14 +104,21 @@ class LockManager:
     # public API
     # ---------------------------------------------------------------- #
 
-    def acquire(self, item: str, owner: str, mode: LockMode = LockMode.EXCLUSIVE) -> Event:
+    def acquire(
+        self,
+        item: str,
+        owner: str,
+        mode: LockMode = LockMode.EXCLUSIVE,
+        span_id: Optional[int] = None,
+    ) -> Event:
         """Request a lock; the returned event succeeds on grant.
 
         Re-acquiring a mode already held is granted immediately.
         A shared→exclusive upgrade succeeds only if ``owner`` is the sole
         holder; otherwise :class:`LockUpgradeError` is raised (the caller
         must release and re-acquire — keeps the manager deadlock-free for
-        our protocols).
+        our protocols). ``span_id`` ties the request to the requesting
+        update's span for wait-for diagnostics.
         """
         lock = self._lock(item)
         event = Event(self.env)
@@ -96,11 +128,15 @@ class LockManager:
             if held is mode or held is LockMode.EXCLUSIVE:
                 # Reentrant or downgrade-as-noop: grant immediately.
                 self.grants += 1
+                if self.monitor is not None:
+                    self._notify("grant", item, owner, mode, span_id, lock)
                 return event.succeed((item, mode))
             # Upgrade S -> X.
             if len(lock.holders) == 1:
                 lock.holders[owner] = LockMode.EXCLUSIVE
                 self.grants += 1
+                if self.monitor is not None:
+                    self._notify("grant", item, owner, mode, span_id, lock)
                 return event.succeed((item, mode))
             raise LockUpgradeError(
                 f"{owner!r} cannot upgrade {item!r}: {len(lock.holders) - 1} other holder(s)"
@@ -109,10 +145,14 @@ class LockManager:
         if not lock.queue and self._grantable(lock, mode):
             lock.holders[owner] = mode
             self.grants += 1
+            if self.monitor is not None:
+                self._notify("grant", item, owner, mode, span_id, lock)
             return event.succeed((item, mode))
 
         lock.queue.append(_Waiter(owner, mode, event))
         self.max_queue = max(self.max_queue, len(lock.queue))
+        if self.monitor is not None:
+            self._notify("wait", item, owner, mode, span_id, lock)
         return event
 
     def release(self, item: str, owner: str) -> None:
@@ -122,6 +162,8 @@ class LockManager:
             raise LockError(f"{owner!r} does not hold a lock on {item!r}")
         del lock.holders[owner]
         self._grant_wave(item, lock)
+        if self.monitor is not None:
+            self._notify("release", item, owner, None, None, lock)
         if not lock.holders and not lock.queue:
             del self._locks[item]
 
@@ -158,6 +200,8 @@ class LockManager:
             waiter = lock.queue.popleft()
             lock.holders[waiter.owner] = waiter.mode
             self.grants += 1
+            if self.monitor is not None:
+                self._notify("grant", item, waiter.owner, waiter.mode, None, lock)
             waiter.event.succeed((item, waiter.mode))
             if waiter.mode is LockMode.EXCLUSIVE:
                 break

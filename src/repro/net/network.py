@@ -40,6 +40,10 @@ class Network:
         One-way delay model (default: constant 1 time unit).
     rng:
         Generator used for latency sampling and probabilistic drops.
+        Required: pass a dedicated :class:`~repro.sim.rng.RngRegistry`
+        stream (e.g. ``rngs.stream("net.latency")``). There is
+        deliberately no seeded default — two networks in one simulation
+        would silently share stream 0.
     tracer:
         Receives ``msg.send`` / ``msg.drop`` / ``msg.recv`` records.
     fifo:
@@ -60,7 +64,12 @@ class Network:
     ) -> None:
         self.env = env
         self.latency = latency if latency is not None else ConstantLatency(1.0)
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        if rng is None:
+            raise ValueError(
+                "Network requires an explicit rng stream"
+                " (e.g. RngRegistry(seed).stream('net.latency'))"
+            )
+        self.rng = rng
         self.tracer = tracer if tracer is not None else NullTracer()
         self.stats = NetworkStats()
         self.channels = ChannelTable(fifo=fifo)

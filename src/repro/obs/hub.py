@@ -36,6 +36,22 @@ class Observability:
         )
         self.registry = MetricRegistry()
         self.series = TimeSeriesStore()
+        #: protocol-event subscribers, called as ``fn(kind, now, fields)``.
+        #: Independent of ``enabled`` — the runtime sanitizer listens here
+        #: even when span recording is off. Empty list ⇒ emit() is one
+        #: truthiness check.
+        self.event_subscribers: list = []
+
+    def emit(self, kind: str, now: float, **fields) -> None:
+        """Publish a semantic protocol event (AV mint/spend, selection, …).
+
+        Spans capture *timing*; these events capture *accounting* facts
+        the sanitizer folds into its invariants. With no subscribers the
+        call costs a single attribute check.
+        """
+        if self.event_subscribers:
+            for fn in self.event_subscribers:
+                fn(kind, now, fields)
 
     # Convenience wrappers that keep call sites one-liners and free when
     # disabled (a single attribute check).

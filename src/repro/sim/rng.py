@@ -49,7 +49,10 @@ class RngRegistry:
             child = np.random.SeedSequence(
                 [self.seed, zlib.crc32(name.encode("utf-8"))]
             )
-            gen = np.random.default_rng(child)
+            # This is the one sanctioned default_rng call site: the
+            # registry derives every stream from the run seed, which is
+            # exactly what the lint rule exists to funnel code towards.
+            gen = np.random.default_rng(child)  # repro-lint: disable=seeded-rng
             self._streams[name] = gen
         return gen
 

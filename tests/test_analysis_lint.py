@@ -1,0 +1,217 @@
+"""Tests for the static lint pass (repro.analysis.lint)."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.lint import LintFinding, Linter, default_rules, lint_paths
+
+
+def lint_source(tmp_path, source, relpath="src/mod.py"):
+    """Lint one snippet as if it lived at ``relpath`` in a repo tree."""
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    return lint_paths([str(tmp_path)])
+
+
+def rules_hit(findings):
+    return sorted({f.rule for f in findings})
+
+
+class TestWallClock:
+    def test_host_clock_reads_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import time
+            from datetime import datetime
+
+            def stamp():
+                return time.time(), time.perf_counter(), datetime.now()
+            """)
+        assert rules_hit(findings) == ["wall-clock"]
+        assert len(findings) == 3
+
+    def test_sim_clock_clean(self, tmp_path):
+        assert lint_source(tmp_path, """\
+            def stamp(env):
+                return env.now
+            """) == []
+
+    def test_benchmarks_exempt(self, tmp_path):
+        assert lint_source(tmp_path, """\
+            import time
+            t = time.perf_counter()
+            """, relpath="benchmarks/bench_x.py") == []
+
+
+class TestSeededRng:
+    def test_direct_default_rng_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import numpy as np
+            rng = np.random.default_rng(0)
+            """)
+        assert rules_hit(findings) == ["seeded-rng"]
+
+    def test_global_seed_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import numpy as np
+            np.random.seed(42)
+            """)
+        assert rules_hit(findings) == ["seeded-rng"]
+
+    def test_registry_streams_clean(self, tmp_path):
+        assert lint_source(tmp_path, """\
+            def make(registry):
+                return registry.stream("net.latency")
+            """) == []
+
+    def test_tests_exempt(self, tmp_path):
+        assert lint_source(tmp_path, """\
+            import numpy as np
+            rng = np.random.default_rng(0)
+            """, relpath="tests/test_x.py") == []
+
+
+class TestUnorderedIter:
+    def test_for_over_set_literal_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            for x in {1, 2, 3}:
+                print(x)
+            """)
+        assert rules_hit(findings) == ["unordered-iter"]
+
+    def test_comprehension_over_set_call_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            def dedupe(xs):
+                return [x for x in set(xs)]
+            """)
+        assert rules_hit(findings) == ["unordered-iter"]
+
+    def test_sorted_wrapper_clean(self, tmp_path):
+        assert lint_source(tmp_path, """\
+            def dedupe(xs):
+                return [x for x in sorted(set(xs))]
+            """) == []
+
+
+class TestMessageHandlers:
+    def test_unregistered_kind_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            def ping(endpoint):
+                endpoint.send("peer", "zz.unhandled", {})
+            """)
+        assert rules_hit(findings) == ["message-handlers"]
+        assert "zz.unhandled" in findings[0].message
+
+    def test_registration_anywhere_in_scope_satisfies(self, tmp_path):
+        (tmp_path / "tests").mkdir()
+        (tmp_path / "tests" / "test_x.py").write_text(textwrap.dedent("""\
+            def setup(endpoint):
+                endpoint.on("zz.handled", lambda m: None)
+            """))
+        findings = lint_source(tmp_path, """\
+            def ping(endpoint):
+                endpoint.send("peer", "zz.handled", {})
+                endpoint.request("peer", "zz.handled", {})
+            """)
+        assert findings == []
+
+    def test_reply_kinds_exempt(self, tmp_path):
+        assert lint_source(tmp_path, """\
+            def pong(endpoint):
+                endpoint.send("peer", "zz.ask.reply", {})
+            """) == []
+
+    def test_dynamic_kinds_ignored(self, tmp_path):
+        assert lint_source(tmp_path, """\
+            def fwd(endpoint, kind):
+                endpoint.send("peer", kind, {})
+            """) == []
+
+
+class TestSpanCoverage:
+    def test_bare_entry_point_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            class FooProtocol:
+                def execute(self, item):
+                    return item
+
+                def handle_thing(self, msg):
+                    return None
+
+                def helper(self):
+                    return 1
+            """)
+        assert rules_hit(findings) == ["span-coverage"]
+        assert len(findings) == 2  # execute + handle_thing, not helper
+
+    def test_span_recording_entry_point_clean(self, tmp_path):
+        assert lint_source(tmp_path, """\
+            class FooProtocol:
+                def execute(self, accel, item):
+                    span = accel.obs.recorder.start("foo", accel.site, 0.0)
+                    span.finish(1.0)
+            """) == []
+
+    def test_non_protocol_classes_exempt(self, tmp_path):
+        assert lint_source(tmp_path, """\
+            class FooHelper:
+                def execute(self, item):
+                    return item
+            """) == []
+
+
+class TestSuppression:
+    def test_disable_comment_silences_one_rule(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import numpy as np
+            rng = np.random.default_rng(0)  # repro-lint: disable=seeded-rng (root stream)
+            """)
+        assert findings == []
+
+    def test_disable_is_rule_specific(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import numpy as np
+            rng = np.random.default_rng(0)  # repro-lint: disable=wall-clock
+            """)
+        assert rules_hit(findings) == ["seeded-rng"]
+
+    def test_disable_all_and_lists(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import time
+            a = time.time()  # repro-lint: disable=all
+            for x in {1}:  # repro-lint: disable=unordered-iter, wall-clock
+                pass
+            """)
+        assert findings == []
+
+
+class TestFramework:
+    def test_findings_sorted_and_rendered(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import time
+            b = time.time()
+            a = time.monotonic()
+            """)
+        assert [f.line for f in findings] == [2, 3]
+        out = findings[0].render()
+        assert out.endswith("wall-clock: host clock read time.time() —"
+                            " simulation code must use env.now")
+        assert ":2:" in out
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        findings = lint_source(tmp_path, "def broken(:\n")
+        assert rules_hit(findings) == ["parse"]
+
+    def test_single_file_argument(self, tmp_path):
+        src = tmp_path / "src"
+        src.mkdir()
+        f = src / "m.py"
+        f.write_text("import time\nt = time.time()\n")
+        findings = Linter(default_rules()).run([str(f)])
+        assert rules_hit(findings) == ["wall-clock"]
+
+    def test_repo_tree_is_lint_clean(self):
+        """The gate CI enforces: the shipped tree has zero findings."""
+        root = Path(__file__).resolve().parent.parent
+        findings = lint_paths([str(root / "src"), str(root / "tests")])
+        assert findings == [], "\n".join(f.render() for f in findings)

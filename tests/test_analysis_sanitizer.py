@@ -1,0 +1,249 @@
+"""Tests for the runtime protocol sanitizer.
+
+Structure: one clean-run gate (the §4 workload must produce zero
+violations) plus one known-bad scenario per invariant, each asserting
+that the resulting finding is structured — it names the rule and the
+item/site/span that caused it.
+"""
+
+import pytest
+
+from repro.analysis import ProtocolSanitizer, run_check
+from repro.analysis.hb import CausalOrder
+from repro.cluster import build_paper_system
+from repro.core import InvalidVolume
+from repro.db.locks import LockManager
+from repro.sim import Environment
+
+
+def sanitized_system(**overrides):
+    overrides.setdefault("n_items", 2)
+    overrides.setdefault("initial_stock", 90.0)
+    overrides.setdefault("observe", True)
+    overrides.setdefault("sanitize", True)
+    return build_paper_system(**overrides)
+
+
+class TestCleanRun:
+    def test_paper_workload_sanitizes_clean(self):
+        run = run_check(experiment="fig6", n_updates=120, seed=0)
+        assert run.ok, run.render()
+        assert run.report.violations == []
+        counters = run.report.counters
+        assert counters["holds_opened"] == counters["holds_closed"]
+        assert counters["unsynced_balances"] == 0
+        assert counters["events"] > 0
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            run_check(experiment="fig9")
+
+    def test_finish_is_idempotent(self):
+        run = run_check(experiment="fig6", n_updates=30, seed=1)
+        again = run.system.sanitizer.finish()
+        assert again is run.report
+        assert again.violations == run.report.violations
+
+    def test_render_names_the_verdict(self):
+        run = run_check(experiment="fig6", n_updates=30, seed=2)
+        out = run.render()
+        assert "PASS" in out
+        assert "protocol sanitizer report" in out
+
+
+class TestHoldLifecycle:
+    def test_double_spend_hold_reported_with_context(self):
+        """Consuming an already-consumed hold is the double-spend bug the
+        paper's holds exist to prevent; the finding must carry the span
+        context the hold was opened under."""
+        system = sanitized_system()
+        table = system.site("site1").av_table
+        hold = table.hold("item0", ctx=("trace-dbl", 42))
+        hold.add(table.take("item0", 10.0))
+        hold.consume(10.0)
+        with pytest.raises(InvalidVolume):
+            hold.consume(5.0)
+        report = system.sanitizer.report
+        findings = report.by_rule("hold.double-close")
+        assert len(findings) == 1
+        v = findings[0]
+        assert v.severity == "violation"
+        assert v.item == "item0"
+        assert v.site == "site1"
+        assert v.trace_id == "trace-dbl"
+        assert v.span_id == 42
+        assert str(hold.hold_id) in v.detail
+
+    def test_leaked_hold_reported_at_teardown(self):
+        system = sanitized_system()
+        table = system.site("site2").av_table
+        hold = table.hold("item1", ctx=("trace-leak", 7))
+        hold.add(table.take("item1", 5.0))
+        report = system.sanitizer.finish()
+        leaks = report.by_rule("hold.leak")
+        assert len(leaks) == 1
+        v = leaks[0]
+        assert (v.item, v.site) == ("item1", "site2")
+        assert v.trace_id == "trace-leak"
+        assert v.span_id == 7
+        assert report.counters["holds_opened"] == 1
+        assert report.counters["holds_closed"] == 0
+        # releasing repairs nothing after the fact — the report is fixed
+        hold.release()
+
+
+class TestConservation:
+    def test_forged_volume_caught_immediately(self):
+        """AV appearing out of thin air (no mint) breaks conservation."""
+        system = sanitized_system()
+        system.site("site1").av_table.add("item0", 1000.0)
+        report = system.sanitizer.report
+        findings = report.by_rule("av.conservation")
+        assert findings, report.render()
+        v = findings[0]
+        assert v.item == "item0"
+        assert v.site == "site1"
+        assert "exceeds headroom" in v.detail
+
+    def test_spend_and_mint_keep_accounts_balanced(self):
+        system = sanitized_system()
+
+        def flow(env):
+            yield system.update("site1", "item0", -10.0)  # spend
+            yield system.update("site0", "item0", +25.0)  # mint
+
+        system.env.process(flow(system.env), name="flow")
+        system.run()
+        report = system.sanitizer.finish()
+        assert report.ok, report.render()
+
+
+class TestDroppedPropagation:
+    def test_lost_propagation_is_a_violation(self):
+        """A dropped prop.push can never be retransmitted: the replica
+        diverges permanently. The finding names the span that committed
+        the update."""
+        system = sanitized_system(propagate=True)
+        system.network.faults.drop_probability = 1.0
+
+        def flow(env):
+            # Locally covered: only the propagation fan-out hits the wire.
+            yield system.update("site1", "item0", -5.0)
+
+        system.env.process(flow(system.env), name="flow")
+        system.run()
+        report = system.sanitizer.finish()
+        lost = report.by_rule("prop.lost")
+        assert lost, report.render()
+        v = lost[0]
+        assert v.severity == "violation"
+        assert v.item == "item0"
+        assert v.site in ("site0", "site2")  # the starved replica
+        assert v.span_id is not None
+        assert v.trace_id
+        assert v.msg_id is not None
+        assert not report.ok
+
+
+class TestLockAudit:
+    def make_sanitizer(self):
+        return ProtocolSanitizer()
+
+    def test_wait_cycle_reported_as_deadlock(self):
+        env = Environment()
+        locks = LockManager(env, "site9.locks")
+        san = self.make_sanitizer()
+        locks.monitor = san
+        locks.acquire("i1", "imm:T1", span_id=7)
+        locks.acquire("i2", "imm:T2", span_id=8)
+        locks.acquire("i2", "imm:T1", span_id=7)  # T1 waits on T2
+        locks.acquire("i1", "imm:T2", span_id=9)  # T2 waits on T1: cycle
+        findings = san.report.by_rule("lock.deadlock")
+        assert len(findings) == 1
+        v = findings[0]
+        assert v.severity == "violation"
+        assert v.site == "site9"
+        assert v.item == "i1"
+        assert v.span_id == 9
+        assert "imm:T1" in v.detail and "imm:T2" in v.detail
+
+    def test_out_of_order_site_acquisition_reported(self):
+        env = Environment()
+        a = LockManager(env, "site1.locks")
+        b = LockManager(env, "site2.locks")
+        san = self.make_sanitizer()
+        a.monitor = san
+        b.monitor = san
+        b.acquire("x", "imm:T9", span_id=3)
+        a.acquire("x", "imm:T9", span_id=3)  # site1 after site2: descending
+        findings = san.report.by_rule("lock.order")
+        assert len(findings) == 1
+        v = findings[0]
+        assert (v.site, v.item, v.span_id) == ("site1", "x", 3)
+        assert "canonical ascending" in v.detail
+
+    def test_canonical_order_and_release_stay_clean(self):
+        env = Environment()
+        a = LockManager(env, "site1.locks")
+        b = LockManager(env, "site2.locks")
+        san = self.make_sanitizer()
+        a.monitor = san
+        b.monitor = san
+        a.acquire("x", "imm:T1", span_id=1)
+        b.acquire("x", "imm:T1", span_id=1)
+        a.release("x", "imm:T1")
+        b.release("x", "imm:T1")
+        assert san.report.ok
+
+
+class TestHappensBefore:
+    def grant(self, causal, grantor, item, av_after, msg_id):
+        causal.on_send(grantor, msg_id)
+        causal.on_grant(grantor, item, av_after, 0.0, msg_id)
+
+    def test_concurrent_selection_is_a_stale_race(self):
+        causal = CausalOrder()
+        self.grant(causal, "site0", "item0", av_after=5.0, msg_id=1)
+        # site2 has seen no message from site0: concurrent in HB terms.
+        causal.on_select("site2", "item0", "site0", believed=20.0, time=1.0,
+                         trace="t-race", span=11)
+        assert causal.stale_races == 1
+        assert causal.belief_lags == 0
+        sample = causal.samples[0]
+        assert sample["kind"] == "hb.stale-belief-race"
+        assert sample["target"] == "site0"
+        assert sample["span"] == 11
+
+    def test_causally_ordered_selection_is_a_belief_lag(self):
+        causal = CausalOrder()
+        self.grant(causal, "site0", "item0", av_after=5.0, msg_id=1)
+        # A later message from site0 reaches site2, so the grant
+        # happened-before the selection — the stale level was knowable.
+        causal.on_send("site0", msg_id=2)
+        causal.on_recv("site2", msg_id=2)
+        causal.on_select("site2", "item0", "site0", believed=20.0, time=2.0)
+        assert causal.belief_lags == 1
+        assert causal.stale_races == 0
+        assert causal.samples[0]["kind"] == "hb.belief-lag"
+
+    def test_accurate_belief_not_flagged(self):
+        causal = CausalOrder()
+        self.grant(causal, "site0", "item0", av_after=30.0, msg_id=1)
+        causal.on_select("site2", "item0", "site0", believed=30.0, time=1.0)
+        causal.on_select("site2", "item0", "site0", believed=None, time=1.0)
+        causal.on_select("site2", "item1", "site9", believed=99.0, time=1.0)
+        assert causal.stale_races == 0
+        assert causal.belief_lags == 0
+
+    def test_stale_beliefs_surface_as_report_warnings(self):
+        system = sanitized_system()
+        san = system.sanitizer
+        self.grant(san.causal, "site0", "item0", av_after=5.0, msg_id=900001)
+        san.causal.on_select("site2", "item0", "site0", believed=20.0, time=1.0)
+        report = san.finish()
+        assert report.ok  # warnings never fail the run
+        warned = report.by_rule("hb.stale-belief-race")
+        assert len(warned) == 1
+        assert warned[0].severity == "warning"
+        assert report.counters["stale_belief_races"] == 1
+        assert report.hb_samples

@@ -9,12 +9,16 @@ from repro.analysis import (
 )
 from repro.cluster import build_paper_system
 from repro.net import ConstantLatency, Network
-from repro.sim import Environment
+from repro.sim import Environment, RngRegistry
 
 
 def make_net():
     env = Environment()
-    net = Network(env, latency=ConstantLatency(1.0))
+    net = Network(
+        env,
+        latency=ConstantLatency(1.0),
+        rng=RngRegistry(0).stream("net.latency"),
+    )
     a, b = net.endpoint("a"), net.endpoint("b")
     b.on("ping", lambda m: "pong")
     return env, net, a
@@ -101,7 +105,11 @@ class TestRender:
 
     def test_long_labels_truncated(self):
         env = Environment()
-        net = Network(env, latency=ConstantLatency(1.0))
+        net = Network(
+            env,
+            latency=ConstantLatency(1.0),
+            rng=RngRegistry(0).stream("net.latency"),
+        )
         a, b = net.endpoint("a"), net.endpoint("b")
         b.on("averyveryveryverylongkindname", lambda m: None)
         recorder = SequenceRecorder(net)

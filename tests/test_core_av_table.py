@@ -123,6 +123,34 @@ class TestHold:
         with pytest.raises(InvalidVolume):
             table.hold("A").add(-1)
 
+    def test_open_holds_counts_consume_and_release(self, table):
+        """The live-hold gauge tracks every open against its one close."""
+        assert table.open_holds == 0
+        first, second = table.hold("A"), table.hold("A")
+        assert table.open_holds == 2
+        first.add(table.take("A", 10.0))
+        first.consume(10.0)
+        assert table.open_holds == 1
+        second.release()
+        assert table.open_holds == 0
+
+    def test_open_holds_unchanged_by_double_close(self, table):
+        hold = table.hold("A")
+        hold.release()
+        assert table.open_holds == 0
+        with pytest.raises(InvalidVolume):
+            hold.release()
+        assert table.open_holds == 0
+
+    def test_holds_carry_id_and_context(self, table):
+        plain = table.hold("A")
+        tagged = table.hold("A", ctx=("trace-1", 42))
+        assert tagged.hold_id > plain.hold_id
+        assert plain.ctx is None
+        assert tagged.ctx == ("trace-1", 42)
+        plain.release()
+        tagged.release()
+
     def test_conservation_through_hold_cycle(self, table):
         """take_all -> hold -> consume/release never creates volume."""
         start = table.total()

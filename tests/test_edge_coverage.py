@@ -181,9 +181,14 @@ class TestLatePriority:
         """A request timeout exactly equal to the round trip must not
         spuriously fire (LATE-priority deadline)."""
         from repro.net import ConstantLatency, Network
+        from repro.sim import RngRegistry
 
         env = Environment()
-        net = Network(env, latency=ConstantLatency(1.0))
+        net = Network(
+            env,
+            latency=ConstantLatency(1.0),
+            rng=RngRegistry(0).stream("net.latency"),
+        )
         a, b = net.endpoint("a"), net.endpoint("b")
         b.on("ping", lambda m: "pong")
 

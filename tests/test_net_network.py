@@ -17,6 +17,7 @@ from repro.sim import Environment, Tracer
 
 def make_net(latency=None, **kw):
     env = Environment()
+    kw.setdefault("rng", np.random.default_rng(0))
     net = Network(env, latency=latency or ConstantLatency(1.0), **kw)
     return env, net
 
@@ -234,7 +235,12 @@ def test_peers_excludes_self():
 def test_tracer_records_send_and_recv():
     env = Environment()
     tracer = Tracer()
-    net = Network(env, latency=ConstantLatency(1.0), tracer=tracer)
+    net = Network(
+        env,
+        latency=ConstantLatency(1.0),
+        rng=np.random.default_rng(0),
+        tracer=tracer,
+    )
     a, b = net.endpoint("a"), net.endpoint("b")
     b.on("ping", lambda m: None)
     a.send("b", "ping")

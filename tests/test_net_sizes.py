@@ -9,7 +9,7 @@ from repro.net import (
     Network,
     SizeModel,
 )
-from repro.sim import Environment
+from repro.sim import Environment, RngRegistry
 
 
 class TestSizeModel:
@@ -58,7 +58,12 @@ class TestSizeModel:
 class TestByteAccounting:
     def make_net(self, size_model):
         env = Environment()
-        net = Network(env, latency=ConstantLatency(1.0), size_model=size_model)
+        net = Network(
+            env,
+            latency=ConstantLatency(1.0),
+            rng=RngRegistry(0).stream("net.latency"),
+            size_model=size_model,
+        )
         a, b = net.endpoint("a"), net.endpoint("b")
         b.on("echo", lambda m: m.payload)
         return env, net, a
