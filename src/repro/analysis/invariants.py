@@ -12,6 +12,12 @@ Three independent auditors, each fed by the sanitizer's hooks:
 * :class:`HoldRegistry` — hold lifecycle soundness: every hold opened is
   consumed or released exactly once; anything still open at teardown is
   a leak, any operation on a closed hold is a double-close.
+* :class:`LeaseAudit` — AV grant-lease lifecycle (the robustness
+  layer's replacement for conservative in-transit loss): every lease
+  opened resolves exactly once, as a discharge (holder acked) or a
+  revert (transfer definitively lost, volume restored). A second
+  resolution or an ack for a reverted lease means volume exists twice;
+  a lease still open at teardown is an undrained run.
 * :class:`LockAudit` — rebuilds the cross-site wait-for graph from lock
   events, detects cycles (deadlock) the moment the closing edge appears,
   and checks that each transaction token acquires site locks in the
@@ -208,6 +214,91 @@ class HoldRegistry:
                 detail=(
                     f"hold #{hold_id} opened at t={opened_at:g}"
                     " never consumed or released"
+                ),
+            ))
+
+
+class LeaseAudit:
+    """Structural audit of the AV grant-lease lifecycle.
+
+    Fed from the ``av.lease.*`` obs events the
+    :class:`~repro.core.leases.LeaseTable` emits. Lease ids are local to
+    their grantor, so the audit keys on ``(grantor, lease_id)``.
+    """
+
+    def __init__(self, report: SanitizerReport) -> None:
+        self.report = report
+        #: (grantor, lease_id) -> (item, amount, holder, opened_at)
+        self.live: Dict[Tuple[str, int], tuple] = {}
+        #: how each closed lease resolved: "discharge" | "revert"
+        self.resolved: Dict[Tuple[str, int], str] = {}
+        self.opened = 0
+        self.discharged = 0
+        self.reverted = 0
+
+    def on_open(self, grantor: str, lease_id: int, item: str,
+                amount: float, holder: str, now: float) -> None:
+        key = (grantor, lease_id)
+        if key in self.live or key in self.resolved:
+            self.report.violations.append(Violation(
+                rule="lease.reopen",
+                item=item,
+                site=grantor,
+                time=now,
+                detail=f"lease #{lease_id} opened twice",
+            ))
+            return
+        self.opened += 1
+        self.live[key] = (item, amount, holder, now)
+
+    def on_resolve(self, grantor: str, lease_id: int, outcome: str,
+                   now: float) -> None:
+        key = (grantor, lease_id)
+        entry = self.live.pop(key, None)
+        if entry is None:
+            prior = self.resolved.get(key, "never opened")
+            self.report.violations.append(Violation(
+                rule="lease.double-resolve",
+                site=grantor,
+                time=now,
+                detail=(
+                    f"lease #{lease_id} resolved as {outcome}"
+                    f" but is not open (prior: {prior})"
+                ),
+            ))
+            return
+        self.resolved[key] = outcome
+        if outcome == "discharge":
+            self.discharged += 1
+        else:
+            self.reverted += 1
+
+    def on_conflict(self, grantor: str, holder: str, lease_id: int,
+                    now: float) -> None:
+        self.report.violations.append(Violation(
+            rule="lease.conflict",
+            site=grantor,
+            time=now,
+            detail=(
+                f"ack from {holder} for already-reverted lease"
+                f" #{lease_id} — the leased volume now exists twice"
+            ),
+        ))
+
+    def finish(self, now: float) -> None:
+        for (grantor, lease_id), (item, amount, holder, opened_at) in sorted(
+            self.live.items()
+        ):
+            self.report.warnings.append(Violation(
+                rule="lease.unresolved",
+                item=item,
+                site=grantor,
+                time=now,
+                severity="warning",
+                detail=(
+                    f"lease #{lease_id} of {amount:g} to {holder} opened"
+                    f" t={opened_at:g} unresolved at teardown"
+                    " (undrained run?)"
                 ),
             ))
 

@@ -123,6 +123,16 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.chaos import run_chaos
+
+    report = run_chaos(
+        small=args.small, n_updates=args.updates, seed=args.seed,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_latency(args: argparse.Namespace) -> int:
     from repro.experiments import LATENCY_HEADERS, run_latency_experiment
     from repro.metrics.report import text_table
@@ -277,6 +287,24 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("faults", help="fault-tolerance experiment")
     common(p)
     p.set_defaults(fn=_cmd_faults)
+
+    p = sub.add_parser(
+        "chaos",
+        help=(
+            "chaos suite: crash/partition/loss schedules must end in"
+            " converged replicas with a clean sanitizer audit"
+        ),
+    )
+    p.add_argument(
+        "--updates", type=int, default=None,
+        help="total updates per scenario (default 120 small / 300 full)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="root seed")
+    p.add_argument(
+        "--small", action="store_true",
+        help="run the 3-scenario CI smoke variant",
+    )
+    p.set_defaults(fn=_cmd_chaos)
 
     p = sub.add_parser("latency", help="latency comparison")
     common(p)

@@ -8,6 +8,7 @@ from repro.cluster.catalog import (
     make_catalog,
 )
 from repro.cluster.config import SystemConfig, paper_config
+from repro.cluster.rejoin import TAG_REJOIN, install_rejoin_handlers, rejoin
 from repro.cluster.site import Site, SiteRole
 from repro.cluster.system import DistributedSystem, InvariantViolation
 
@@ -26,9 +27,12 @@ __all__ = [
     "Site",
     "SiteRole",
     "SystemConfig",
+    "TAG_REJOIN",
     "bootstrap",
     "build_paper_system",
+    "install_rejoin_handlers",
     "make_catalog",
     "paper_config",
+    "rejoin",
     "split_volume",
 ]

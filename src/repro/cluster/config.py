@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.net.reliable import ReliabilityParams
+
 
 @dataclass
 class SystemConfig:
@@ -68,6 +70,11 @@ class SystemConfig:
     #: staleness on every event. Off by default — each hook site then
     #: costs one ``is None`` check
     sanitize: bool = False
+    #: robustness layer (repro.net.reliable + repro.core.leases +
+    #: crash-recovery rejoin). ``None`` keeps the seed's honest-loss
+    #: behaviour; a ReliabilityParams turns on reliable propagation,
+    #: AV grant leases, and rejoin-gated recovery at every site
+    reliability: Optional[ReliabilityParams] = None
 
     def __post_init__(self) -> None:
         if self.n_retailers < 1:

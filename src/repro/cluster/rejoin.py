@@ -1,0 +1,143 @@
+"""Crash-recovery rejoin: anti-entropy before accepting new updates.
+
+Only active when the robustness layer is on
+(:class:`~repro.cluster.config.SystemConfig` ``reliability``). A
+recovering :class:`~repro.cluster.site.Site` first repairs its local
+store (WAL compensation — done synchronously in ``Site.restart``), then
+runs the rejoin round as a process while a **gate** on the accelerator
+holds new updates back:
+
+1. resolve in-doubt 2PC participants (termination protocol);
+2. catch up on Immediate Updates committed while we were down;
+3. replay lease acks for transfers we received but may not have acked;
+4. push our own retained propagation balances to the live peers;
+5. ask each live peer to **flush** what it owes us (``prop.flush`` —
+   the per-peer owed ledger retained our balances while we were
+   unreachable);
+6. reconcile our AV catalogue against the base site (``av.catalog``):
+   define items that went regular while we were down, undefine ones
+   that went non-regular, and refresh beliefs from the base's levels.
+
+The gate then opens. A site that crashes again mid-rejoin abandons the
+round — the next restart runs a fresh one — and the gate opens so
+blocked updates can fail fast instead of hanging on a dead site.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.endpoint import CrashedEndpointError, RequestTimeout
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.site import Site
+
+#: message tag for rejoin control traffic (flush/catalog round-trips);
+#: never counted as update traffic.
+TAG_REJOIN = "rejoin"
+
+#: bounded attempts for each flush/catalog request — a peer that stays
+#: silent is skipped (its balances arrive when *it* next syncs/rejoins)
+FLUSH_ATTEMPTS = 3
+
+
+def install_rejoin_handlers(site: "Site") -> None:
+    """Register the serving side of the rejoin protocol on a site."""
+    accel = site.accelerator
+
+    def handle_flush(msg):
+        """A recovered peer asks for everything we owe it."""
+        pushed = accel.sync_to(msg.src)
+        return {"pushed": pushed}
+
+    def handle_catalog(msg):
+        """Serve our AV catalogue (the base's is authoritative)."""
+        levels = dict(sorted(accel.av_table.items()))
+        return {"items": sorted(levels), "levels": levels}
+
+    accel.endpoint.on("prop.flush", handle_flush)
+    accel.endpoint.on("av.catalog", handle_catalog)
+
+
+def rejoin(site: "Site"):
+    """Generator driving one rejoin round (spawned by ``Site.restart``).
+
+    ``Site.restart`` sets ``accel._rejoin_gate`` *before* spawning this
+    process so no update can slip in between; this generator owns the
+    gate and always opens it on the way out.
+    """
+    accel = site.accelerator
+    env = site.env
+    gate = accel._rejoin_gate
+    timeout = accel.reliability.ack_timeout
+    try:
+        # In-doubt txns MUST resolve before any snapshot pull: a
+        # post-pull abort compensation would corrupt the fresh value.
+        resolutions = accel.immediate.resolve_pending()
+        if resolutions:
+            yield env.all_of(resolutions)
+        yield from accel.immediate.catch_up()
+
+        # Transfers we applied before dying may never have been acked;
+        # replaying the acks discharges the grantors' leases (idempotent
+        # for leases a probe already discharged).
+        if accel.leases is not None:
+            accel.leases.re_ack()
+
+        # Share what we committed before dying, then pull what the live
+        # peers retained for us while we were unreachable.
+        accel.sync_all()
+        for peer in sorted(accel.live_peers()):
+            for _attempt in range(FLUSH_ATTEMPTS):
+                try:
+                    yield accel.endpoint.request(
+                        peer, "prop.flush", {}, tag=TAG_REJOIN, timeout=timeout
+                    )
+                    break
+                except RequestTimeout:
+                    continue
+
+        # Catalogue reconciliation against the base: reclassifications
+        # that completed while we were down must be folded in before we
+        # classify new updates.
+        if accel.site != accel.base_site and not site.endpoint.network.faults.is_crashed(accel.base_site):
+            reply = None
+            for _attempt in range(FLUSH_ATTEMPTS):
+                try:
+                    reply = yield accel.endpoint.request(
+                        accel.base_site, "av.catalog", {},
+                        tag=TAG_REJOIN, timeout=timeout,
+                    )
+                    break
+                except RequestTimeout:
+                    continue
+            if reply is not None:
+                base_items = set(reply["items"])
+                mine = {item for item, _volume in accel.av_table.items()}
+                for item in sorted(base_items - mine):
+                    # Went regular while we were down: start managing it
+                    # with zero AV (transfers refill on demand).
+                    accel.av_table.define(item, 0.0)
+                demoted = sorted(mine - base_items)
+                for item in demoted:
+                    accel.av_table.undefine(item)
+                    accel.clear_owed_item(item)
+                if demoted:
+                    # Newly non-regular items need the primary-copy
+                    # value; the earlier catch-up skipped them because
+                    # they still looked regular here.
+                    yield from accel.immediate.catch_up()
+                for item in sorted(base_items):
+                    accel.beliefs.observe(
+                        accel.base_site, item, reply["levels"][item], env.now
+                    )
+        accel.trace("rejoin.done", f"{accel.site} rejoined")
+    except CrashedEndpointError:
+        # Crashed again mid-rejoin: abandon; the next restart runs a
+        # fresh round over whatever state this one reached.
+        accel.trace("rejoin.abort", f"{accel.site} crashed mid-rejoin")
+    finally:
+        if accel._rejoin_gate is gate:
+            accel._rejoin_gate = None
+        if not gate.triggered:
+            gate.succeed()

@@ -89,6 +89,14 @@ class Site:
         * pending lazy-sync balances are pushed so peers catch up on
           what this site committed before the crash.
 
+        With the robustness layer on (``accelerator.reliability``), the
+        whole post-WAL sequence instead runs as the gated **rejoin**
+        round (:mod:`repro.cluster.rejoin`): in-doubt resolution,
+        immediate catch-up, lease re-acks, a push of retained balances,
+        a pull of everything live peers owe us, and AV-catalogue
+        reconciliation against the base — new updates wait at the gate
+        until the round completes.
+
         Returns the :class:`~repro.db.recovery.RecoveryReport`.
         """
         from repro.db.recovery import recover
@@ -102,6 +110,16 @@ class Site:
         report = recover(
             self.store, accel.txns.wal, now=self.env.now, exclude=in_doubt
         )
+        if accel.reliability is not None:
+            from repro.cluster.rejoin import rejoin
+            from repro.sim.events import Event
+
+            # Close the gate before the process is spawned so no update
+            # issued this very step can slip past the rejoin round.
+            accel._rejoin_gate = Event(self.env)
+            self.env.process(rejoin(self), name=f"{self.name}.rejoin")
+            return report
+
         def sequence(env):
             # In-doubt txns MUST resolve before the snapshot pull: a
             # post-pull abort compensation would corrupt the fresh value.

@@ -136,9 +136,14 @@ class DistributedSystem:
                 max_rounds=config.max_rounds,
                 max_immediate_retries=config.max_immediate_retries,
                 allow_transfers=config.allow_transfers,
+                reliability=config.reliability,
             )
             role = SiteRole.MAKER if name == config.maker else SiteRole.RETAILER
             sites[name] = Site(endpoint, store, accel, role, collector)
+            if config.reliability is not None:
+                from repro.cluster.rejoin import install_rejoin_handlers
+
+                install_rejoin_handlers(sites[name])
 
         bootstrap(
             sites,

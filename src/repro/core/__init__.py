@@ -12,6 +12,7 @@ from repro.core.beliefs import Belief, BeliefTable
 from repro.core.delay_update import DelayUpdateProtocol
 from repro.core.errors import AVUndefined, CoreError, InsufficientAV, InvalidVolume
 from repro.core.immediate_update import ImmediateUpdateProtocol
+from repro.core.leases import TAG_LEASE, Lease, LeaseTable
 from repro.core.reads import TAG_READ, ReadConsistency, ReadProtocol, ReadResult
 from repro.core.rebalancer import TAG_REBALANCE, AVRebalancer
 from repro.core.sync import SyncScheduler
@@ -70,6 +71,8 @@ __all__ = [
     "ImmediateUpdateProtocol",
     "InsufficientAV",
     "InvalidVolume",
+    "Lease",
+    "LeaseTable",
     "OverdraftPolicy",
     "ProportionalPolicy",
     "RandomStrategy",
@@ -83,6 +86,7 @@ __all__ = [
     "TAG_AV",
     "TAG_CENTRAL",
     "TAG_IMMEDIATE",
+    "TAG_LEASE",
     "TAG_PROPAGATE",
     "TAG_READ",
     "UPDATE_TAGS",

@@ -33,6 +33,7 @@ from repro.db.locks import LockManager
 from repro.db.storage import Store
 from repro.db.transaction import TransactionManager
 from repro.net.endpoint import Endpoint
+from repro.net.reliable import ReliabilityParams
 from repro.obs.hub import NULL_OBS, Observability
 from repro.sim.process import Process
 from repro.sim.tracing import NullTracer, Tracer
@@ -67,6 +68,12 @@ class Accelerator:
         previous pass made progress.
     max_immediate_retries:
         Attempts before an Immediate Update gives up under contention.
+    reliability:
+        ``None`` (default) keeps the seed's honest-loss behaviour. A
+        :class:`~repro.net.reliable.ReliabilityParams` turns on the
+        robustness layer: reliable (ack/retransmit, effectively-once)
+        propagation, AV grant leases, and the crash-recovery rejoin
+        protocol.
     """
 
     def __init__(
@@ -84,6 +91,7 @@ class Accelerator:
         max_rounds: int = 8,
         max_immediate_retries: int = 10,
         allow_transfers: bool = True,
+        reliability: Optional[ReliabilityParams] = None,
     ) -> None:
         self.endpoint = endpoint
         self.env = endpoint.env
@@ -112,6 +120,23 @@ class Accelerator:
         self.max_immediate_retries = max_immediate_retries
         #: False = static escrow: never request AV from peers (ablation D)
         self.allow_transfers = allow_transfers
+
+        self.reliability = reliability
+        if reliability is not None:
+            from repro.core.leases import LeaseTable
+            from repro.net.reliable import ReliableSession
+
+            self.reliable = ReliableSession(endpoint, self.rng, reliability)
+            self.leases = LeaseTable(self, reliability)
+        else:
+            self.reliable = None
+            self.leases = None
+        #: non-None while a recovered site re-syncs; new updates wait on
+        #: it (only ever set when the reliability layer is on)
+        self._rejoin_gate = None
+        #: (peer, item) balances with a reliable delivery in flight —
+        #: guards against sending the same balance twice concurrently
+        self._sync_inflight: set[tuple[str, str]] = set()
 
         self.delay = DelayUpdateProtocol(self)
         self.immediate = ImmediateUpdateProtocol(self)
@@ -220,6 +245,12 @@ class Accelerator:
         from repro.net.endpoint import CrashedEndpointError
         from repro.obs.spans import NULL_SPAN
 
+        # A recovering site finishes its rejoin round (WAL replay,
+        # anti-entropy with live peers) before accepting new updates;
+        # re-check because a flapping site may re-enter rejoin.
+        while self._rejoin_gate is not None:
+            yield self._rejoin_gate
+
         rec = self.obs.recorder
         if rec.enabled:
             # The update's root span: every child — checking, AV
@@ -302,6 +333,15 @@ class Accelerator:
         """Claim (and clear) the balance owed to ``peer`` for ``item``."""
         return self.owed.pop((peer, item), 0.0)
 
+    def retain_owed(self, peer: str, item: str, delta: float) -> None:
+        """Fold a delta back into the owed ledger (undelivered push)."""
+        key = (peer, item)
+        balance = self.owed.get(key, 0.0) + delta
+        if balance == 0.0:
+            self.owed.pop(key, None)
+        else:
+            self.owed[key] = balance
+
     def clear_owed_item(self, item: str) -> None:
         """Drop every balance for ``item`` (its value was superseded)."""
         for key in [k for k in self.owed if k[1] == item]:
@@ -311,13 +351,19 @@ class Accelerator:
         """Items with any pending balance."""
         return {item for _, item in self.owed}
 
-    def sync_item(self, item: str, parent=None) -> int:
+    def sync_item(self, item: str, parent=None, only=None) -> int:
         """Push the item's batched delta to every live peer it is owed to.
 
         Returns the number of messages sent — one per (live) peer with a
         balance, however many updates accumulated. Balances owed to
         crashed peers are retained for delivery after recovery.
-        ``parent`` is the enclosing sync-pass span, if any.
+        ``parent`` is the enclosing sync-pass span, if any; ``only``
+        restricts the push to a subset of peers (rejoin flush).
+
+        Without the reliability layer the balance is claimed at send
+        time — a dropped message loses it for good (the sanitizer's
+        ``prop.lost`` violation). With it, the balance stays owed until
+        the reliable delivery acks, so loss can only delay convergence.
         """
         from repro.core.types import TAG_PROPAGATE
 
@@ -328,18 +374,62 @@ class Accelerator:
             "sync.push", self.site, self.now, parent=parent, item=item
         )
         for peer in sorted(live):
-            delta = self.owed.pop((peer, item), 0.0)
+            if only is not None and peer not in only:
+                continue
+            key = (peer, item)
+            delta = self.owed.get(key, 0.0)
             if delta == 0.0:
                 continue
             payload = {"item": item, "delta": delta}
             if rec.enabled:
                 payload["_obs"] = {"trace": span.trace_id, "span": span.span_id}
-            self.endpoint.send(peer, "prop.push", payload, tag=TAG_PROPAGATE)
+            if self.reliable is not None:
+                if key in self._sync_inflight:
+                    continue  # this balance is already on the wire
+                self._sync_inflight.add(key)
+                proc = self.reliable.deliver(
+                    peer, "prop.push", payload, tag=TAG_PROPAGATE
+                )
+                proc.callbacks.append(
+                    lambda ev, key=key, delta=delta: self._settle_sync(
+                        key, delta, ev
+                    )
+                )
+            else:
+                self.owed.pop(key)
+                self.endpoint.send(peer, "prop.push", payload, tag=TAG_PROPAGATE)
             sent += 1
         span.finish(self.now, messages=sent)
         if sent:
             self.trace("sync.push", f"{item} to {sent} peers")
         return sent
+
+    def _settle_sync(self, key: tuple[str, str], delta: float, event) -> None:
+        """Resolve a reliable sync delivery: clear the balance on ack.
+
+        Only the delivered snapshot is subtracted — deltas recorded
+        while the message was in flight stay owed. An undelivered
+        outcome (definitive, via probe) leaves the balance owed for a
+        later sync pass to retry under a fresh sequence number.
+        """
+        self._sync_inflight.discard(key)
+        if not event.ok or event.value is not True:
+            return
+        current = self.owed.get(key)
+        if current is None:
+            return  # superseded (e.g. clear_owed_item during reclassify)
+        remaining = current - delta
+        if remaining == 0.0:
+            self.owed.pop(key, None)
+        else:
+            self.owed[key] = remaining
+
+    def sync_to(self, peer: str, parent=None) -> int:
+        """Push every balance owed to one peer (serves rejoin flushes)."""
+        return sum(
+            self.sync_item(item, parent=parent, only={peer})
+            for item in sorted(self.unsynced_items())
+        )
 
     def sync_all(self, parent=None) -> int:
         """Push every pending batched delta; returns messages sent."""

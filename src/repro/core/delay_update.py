@@ -57,7 +57,12 @@ class DelayUpdateProtocol:
         self.accel = accel
         accel.endpoint.on("av.request", self.handle_av_request)
         accel.endpoint.on("av.push", self.handle_av_push)
-        accel.endpoint.on("prop.push", self.handle_propagation)
+        if accel.reliable is not None:
+            # Behind the session, propagation deltas dedup on (src, seq)
+            # and the reply acks the retransmitting sender.
+            accel.reliable.on("prop.push", self.handle_propagation)
+        else:
+            accel.endpoint.on("prop.push", self.handle_propagation)
         #: grants served, volume granted (diagnostics)
         self.grants_served = 0
         self.volume_granted = 0.0
@@ -223,6 +228,12 @@ class DelayUpdateProtocol:
 
             granted = reply["granted"]
             req_span.finish(accel.now, granted=granted)
+            lease_id = reply.get("lease")
+            if lease_id is not None and accel.leases is not None:
+                # Record the receipt and ack the grantor's lease; a
+                # duplicate delivery must not double-apply the volume.
+                if not accel.leases.receive(target, lease_id):
+                    granted = 0
             accel.beliefs.observe(target, item, reply["av_after"], accel.now)
             if granted > 0:
                 progress = True
@@ -281,21 +292,34 @@ class DelayUpdateProtocol:
         after = accel.av_table.get(item)
         grant_span.finish(accel.now, granted=granted, av_after=after)
         accel.trace("delay.serve", f"granted {granted:g} {item} to {msg.src}")
-        return {"granted": granted, "av_after": after}
+        reply = {"granted": granted, "av_after": after}
+        if granted > 0 and accel.leases is not None:
+            # Hold the granted volume under a lease until the requester
+            # acks; a lost or discarded reply reverts it to our table.
+            reply["lease"] = accel.leases.grant(item, granted, msg.src).lease_id
+        return reply
 
     def handle_av_push(self, msg):
         """Accept unsolicited AV (from a proactive rebalancer, see
         :mod:`repro.core.rebalancer`); bounce it if we no longer manage
         the item, and drop an already-bounced push (conservative: losing
-        headroom can never over-spend stock)."""
+        headroom can never over-spend stock). A *leased* push replaces
+        the bounce dance: refusing to ack makes the sender's lease
+        revert, and a duplicate delivery is acked but not re-applied."""
         accel = self.accel
         item = msg.payload["item"]
         amount = msg.payload["amount"]
+        lease_id = msg.payload.get("lease")
         push_span = accel.obs.recorder.start(
             "av.push.apply", accel.site, accel.now,
             item=item, amount=amount, sender=msg.src,
         )
         if not accel.av_table.defined(item):
+            if lease_id is not None:
+                # No receipt, no ack: the sender's lease reverts the
+                # volume — strictly better than bouncing it back.
+                push_span.finish(accel.now, refused=True)
+                return
             if msg.payload.get("bounced"):
                 accel.trace("rebal.drop", f"{amount:g} {item} (both ends closed)")
                 push_span.finish(accel.now, dropped=True)
@@ -308,6 +332,10 @@ class DelayUpdateProtocol:
             )
             push_span.finish(accel.now, bounced=True)
             return
+        if lease_id is not None and accel.leases is not None:
+            if not accel.leases.receive(msg.src, lease_id):
+                push_span.finish(accel.now, duplicate=True)
+                return
         accel.av_table.add(item, amount)
         accel.beliefs.observe(
             msg.src, item, msg.payload.get("sender_av", 0.0), accel.now
@@ -355,7 +383,8 @@ class DelayUpdateProtocol:
             "prop.push", accel.site, accel.now, parent=span, item=item
         )
         pushed = 0
-        for peer in accel.live_peers():
+        live = set(accel.live_peers())
+        for peer in sorted(accel.endpoint.peers()):
             payload = {"item": item, "delta": delta}
             if rec.enabled:
                 # Receivers parent their prop.apply span under this push
@@ -364,9 +393,32 @@ class DelayUpdateProtocol:
                     "trace": prop_span.trace_id,
                     "span": prop_span.span_id,
                 }
+            if accel.reliable is not None:
+                if peer not in live:
+                    # Unreachable now: keep the delta owed; the rejoin
+                    # flush (or a later sync pass) delivers it.
+                    accel.retain_owed(peer, item, delta)
+                    continue
+                proc = accel.reliable.deliver(
+                    peer, "prop.push", payload, tag=TAG_PROPAGATE
+                )
+                proc.callbacks.append(
+                    lambda ev, peer=peer, item=item, delta=delta:
+                        self._settle_eager(peer, item, delta, ev)
+                )
+                pushed += 1
+                continue
+            if peer not in live:
+                continue
             accel.endpoint.send(peer, "prop.push", payload, tag=TAG_PROPAGATE)
             pushed += 1
         prop_span.finish(accel.now, peers=pushed)
+
+    def _settle_eager(self, peer: str, item: str, delta: float, event) -> None:
+        """An eager reliable push resolved; keep undelivered deltas owed."""
+        if event.ok and event.value is True:
+            return
+        self.accel.retain_owed(peer, item, delta)
 
     # ---------------------------------------------------------------- #
     # helpers

@@ -132,16 +132,18 @@ class AVRebalancer:
             if amount <= 0:
                 continue
             accel.av_table.take(item, amount)
-            accel.endpoint.send(
-                target,
-                "av.push",
-                {
-                    "item": item,
-                    "amount": amount,
-                    "sender_av": accel.av_table.get(item),
-                },
-                tag=TAG_REBALANCE,
-            )
+            payload = {
+                "item": item,
+                "amount": amount,
+                "sender_av": accel.av_table.get(item),
+            }
+            if accel.leases is not None:
+                # The push is fire-and-forget either way; the lease
+                # reverts the volume if it never lands.
+                payload["lease"] = accel.leases.grant(
+                    item, amount, target
+                ).lease_id
+            accel.endpoint.send(target, "av.push", payload, tag=TAG_REBALANCE)
             # Optimistically assume delivery for our own bookkeeping.
             accel.beliefs.observe(
                 target, item, known[target] + amount, accel.now

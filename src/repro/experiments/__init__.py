@@ -8,6 +8,13 @@ from repro.experiments.ablations import (
     ablate_stale_beliefs,
     ablate_update_mix,
 )
+from repro.experiments.chaos import (
+    ChaosReport,
+    ChaosResult,
+    ChaosScenario,
+    run_chaos,
+    run_chaos_scenario,
+)
 from repro.experiments.faults import (
     FAULT_HEADERS,
     FaultResult,
@@ -43,6 +50,9 @@ from repro.experiments.table1 import Table1Result, run_table1
 
 __all__ = [
     "ABLATION_HEADERS",
+    "ChaosReport",
+    "ChaosResult",
+    "ChaosScenario",
     "Checkpoint",
     "CountedRun",
     "FAULT_HEADERS",
@@ -62,6 +72,8 @@ __all__ = [
     "ablate_update_mix",
     "checkpoint_schedule",
     "make_paper_trace",
+    "run_chaos",
+    "run_chaos_scenario",
     "run_counted",
     "run_fault_experiment",
     "run_partition_experiment",

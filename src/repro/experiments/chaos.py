@@ -1,0 +1,303 @@
+"""Chaos harness: the system must *converge* under faults, not just survive.
+
+Each scenario drives the §4 workload while a declarative
+:class:`~repro.net.faults.FaultSchedule` injects crashes, partitions,
+message loss and link flapping — with the robustness layer on (reliable
+propagation, AV grant leases, crash-recovery rejoin) and the runtime
+sanitizer attached. After the schedule's fault window the harness heals
+everything, restarts any site still down, drains the simulation to
+quiescence, and then demands the strong post-conditions the paper's
+availability story implies but the seed reproduction could not meet:
+
+* **zero sanitizer violations** (AV conservation, hold/lease lifecycle,
+  lock order, no ``prop.lost``);
+* **zero loss signals** — no conservative in-transit AV loss warnings
+  (``av.grant-lost``/``av.push-lost``), nothing still in flight, no
+  unresolved lease;
+* **byte-identical replicas** at every site, equal to the ground-truth
+  ledger.
+
+Run it via ``python -m repro chaos [--small]``; CI treats any failing
+scenario as a build failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.invariants import SanitizerReport, Violation
+from repro.cluster import DistributedSystem, paper_config
+from repro.cluster.config import SystemConfig
+from repro.core.sync import SyncScheduler
+from repro.net.faults import FaultSchedule
+from repro.net.reliable import ReliabilityParams
+from repro.workload.driver import run_open, split_by_site
+
+from repro.experiments.fig6 import make_paper_trace
+
+#: sanitizer warning rules that mean volume or state was lost — the
+#: robustness layer's whole point is that none of them ever fires
+LOSS_RULES = ("av.grant-lost", "av.push-lost", "net.in-flight", "lease.unresolved")
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """A named fault schedule over the standard chaos run shape."""
+
+    name: str
+    #: builds the schedule for a concrete config (site names, windows)
+    build: Callable[[SystemConfig], FaultSchedule]
+    description: str = ""
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one scenario."""
+
+    scenario: str
+    converged: bool
+    divergence: Optional[str]
+    report: SanitizerReport
+    loss_warnings: List[Violation]
+    updates_issued: int
+    updates_completed: int
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok and self.converged and not self.loss_warnings
+
+    def render(self) -> str:
+        counters = self.report.counters
+        status = "PASS" if self.ok else "FAIL"
+        lines = [
+            f"chaos {self.scenario}: {status}"
+            f" ({self.updates_completed}/{self.updates_issued} updates,"
+            f" {len(self.report.violations)} violations,"
+            f" {len(self.loss_warnings)} loss warnings,"
+            f" replicas {'converged' if self.converged else 'DIVERGED'})",
+            f"  leases opened={counters.get('leases_opened', 0)}"
+            f" discharged={counters.get('leases_discharged', 0)}"
+            f" reverted={counters.get('leases_reverted', 0)};"
+            f" covered drops: lease={counters.get('lease_covered_drops', 0)}"
+            f" rel={counters.get('rel_covered_drops', 0)}",
+        ]
+        if self.divergence:
+            lines.append(f"  divergence: {self.divergence}")
+        for v in self.report.violations:
+            lines.append("  " + v.render())
+        for w in self.loss_warnings:
+            lines.append("  " + w.render())
+        return "\n".join(lines)
+
+
+@dataclass
+class ChaosReport:
+    """All scenarios of one ``run_chaos`` invocation."""
+
+    results: List[ChaosResult] = field(default_factory=list)
+    n_updates: int = 0
+    seed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    def render(self) -> str:
+        header = (
+            f"chaos suite (n={self.n_updates}, seed={self.seed}):"
+            f" {'PASS' if self.ok else 'FAIL'}"
+            f" [{sum(r.ok for r in self.results)}/{len(self.results)} scenarios]"
+        )
+        return "\n".join([header] + [r.render() for r in self.results])
+
+
+# -------------------------------------------------------------------- #
+# scenarios
+# -------------------------------------------------------------------- #
+
+def _maker_crash(config: SystemConfig) -> FaultSchedule:
+    return FaultSchedule().crash(60.0, config.maker).recover(150.0, config.maker)
+
+
+def _retailer_crash(config: SystemConfig) -> FaultSchedule:
+    victim = config.retailers[0]
+    return FaultSchedule().crash(60.0, victim).recover(150.0, victim)
+
+
+def _partition_loss(config: SystemConfig) -> FaultSchedule:
+    # ISSUE 3's third mandatory schedule: maker partitioned away while
+    # every link also drops 5% of messages. The heal phase (run shape,
+    # not schedule) clears the loss rate before the drain.
+    return (
+        FaultSchedule()
+        .drop(0.0, 0.05)
+        .partition(80.0, [config.maker], list(config.retailers))
+        .heal(200.0)
+    )
+
+
+def _crash_storm(config: SystemConfig) -> FaultSchedule:
+    schedule = FaultSchedule().crash(50.0, config.maker).recover(140.0, config.maker)
+    for offset, victim in enumerate(config.retailers):
+        start = 80.0 + 30.0 * offset
+        schedule.crash(start, victim).recover(start + 90.0, victim)
+    return schedule
+
+
+def _flaky_links(config: SystemConfig) -> FaultSchedule:
+    first = config.retailers[0]
+    schedule = FaultSchedule().flap(config.maker, first, 60.0, 240.0, 40.0)
+    if len(config.retailers) > 1:
+        schedule.link_drop(0.0, config.maker, config.retailers[1], 0.2)
+        schedule.link_drop(260.0, config.maker, config.retailers[1], None)
+    return schedule
+
+
+SMALL_SCENARIOS = (
+    ChaosScenario("maker-crash", _maker_crash, "base site down mid-run"),
+    ChaosScenario("retailer-crash", _retailer_crash, "replica down mid-run"),
+    ChaosScenario(
+        "partition-loss", _partition_loss, "maker isolated + 5% message loss"
+    ),
+)
+
+FULL_SCENARIOS = SMALL_SCENARIOS + (
+    ChaosScenario("crash-storm", _crash_storm, "overlapping crash windows"),
+    ChaosScenario(
+        "flaky-links", _flaky_links, "flapping maker link + 20% lossy link"
+    ),
+)
+
+
+# -------------------------------------------------------------------- #
+# the run shape
+# -------------------------------------------------------------------- #
+
+def run_chaos_scenario(
+    scenario: ChaosScenario,
+    n_updates: int = 120,
+    seed: int = 0,
+    n_items: int = 6,
+    n_retailers: int = 2,
+    interarrival: float = 4.0,
+    horizon: float = 260.0,
+    settle: float = 150.0,
+    sync_interval: float = 30.0,
+    reliability: Optional[ReliabilityParams] = None,
+) -> ChaosResult:
+    """Drive one scenario to quiescence and audit the end state.
+
+    ``horizon`` bounds the driven (faulty) phase; the heal phase then
+    removes every fault, restarts still-crashed sites through the full
+    rejoin, lets ``settle`` sim-time pass, flushes all sync backlogs and
+    drains the event queue before judging.
+    """
+    config = paper_config(
+        n_items=n_items,
+        n_retailers=n_retailers,
+        seed=seed,
+        request_timeout=8.0,
+        observe=True,
+        sanitize=True,
+        reliability=reliability if reliability is not None else ReliabilityParams(),
+    )
+    system = DistributedSystem.build(config)
+    faults = system.network.faults
+    trace = make_paper_trace(
+        n_updates, seed, n_items=n_items, n_retailers=n_retailers
+    )
+    per_site = split_by_site(trace)
+
+    completed = [0]
+
+    def on_complete(_i, _event, _result):
+        completed[0] += 1
+
+    schedulers = [
+        SyncScheduler(system.sites[name].accelerator, interval=sync_interval)
+        for name in sorted(system.sites)
+    ]
+    for scheduler in schedulers:
+        scheduler.start()
+
+    scenario.build(config).install(
+        system.env,
+        faults,
+        on_recover=lambda name: system.sites[name].restart(),
+    )
+
+    # Phase 1: drive the workload through the fault window.
+    run_open(
+        system, per_site, interarrival=interarrival,
+        on_complete=on_complete, until=horizon,
+    )
+
+    # Phase 2: heal the world. Every fault class is cleared and every
+    # site still down rejoins — convergence is only promised for fault
+    # windows that end.
+    faults.heal()
+    faults.clear_link_faults()
+    faults.set_drop_probability(0.0)
+    for name in sorted(system.sites):
+        if faults.is_crashed(name):
+            system.sites[name].restart()
+
+    # Phase 3: settle and drain. The drivers finish their streams, the
+    # rejoins complete, retransmissions and lease probes resolve; then
+    # sync backlogs are flushed to a fixpoint (an update completing
+    # after the schedulers stop still leaves owed balances behind).
+    system.run(until=system.env.now + settle)
+    for scheduler in schedulers:
+        scheduler.stop()
+    system.run()
+    while True:
+        for name in sorted(system.sites):
+            system.sites[name].accelerator.sync_all()
+        system.run()
+        if not any(
+            system.sites[name].accelerator.unsynced_items()
+            for name in sorted(system.sites)
+        ):
+            break
+
+    from repro.cluster.system import InvariantViolation
+
+    converged = True
+    divergence = None
+    try:
+        system.check_invariants(quiescent=True)
+    except InvariantViolation as exc:
+        converged = False
+        divergence = str(exc)
+
+    report = system.sanitizer.finish()
+    loss = [w for w in report.warnings if w.rule in LOSS_RULES]
+    return ChaosResult(
+        scenario=scenario.name,
+        converged=converged,
+        divergence=divergence,
+        report=report,
+        loss_warnings=loss,
+        updates_issued=len(trace),
+        updates_completed=completed[0],
+    )
+
+
+def run_chaos(
+    small: bool = False,
+    n_updates: Optional[int] = None,
+    seed: int = 0,
+    n_items: int = 6,
+) -> ChaosReport:
+    """Run the scenario suite; ``small`` is the CI smoke variant."""
+    scenarios = SMALL_SCENARIOS if small else FULL_SCENARIOS
+    updates = n_updates if n_updates is not None else (120 if small else 300)
+    chaos = ChaosReport(n_updates=updates, seed=seed)
+    for scenario in scenarios:
+        chaos.results.append(
+            run_chaos_scenario(
+                scenario, n_updates=updates, seed=seed, n_items=n_items
+            )
+        )
+    return chaos

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional
 from repro.baselines.centralized import CENTER, CentralizedSystem
 from repro.cluster import DistributedSystem, paper_config
 from repro.metrics.availability import AvailabilityTracker
+from repro.net.faults import FaultSchedule
 from repro.workload.driver import run_open, split_by_site
 
 from repro.experiments.fig6 import make_paper_trace
@@ -71,18 +72,16 @@ def run_fault_experiment(
 
     availability: Dict[str, Dict[str, tuple]] = {}
 
-    def crasher(env, faults, victim):
-        yield env.timeout(fault_start)
-        faults.crash(victim)
-        yield env.timeout(fault_end - fault_start)
-        faults.recover(victim)
+    def crash_schedule(victim):
+        # Declarative schedule; the default recover action only clears
+        # the crash flag — exactly the old ad-hoc crasher generator, so
+        # availability numbers are unchanged.
+        return FaultSchedule().crash(fault_start, victim).recover(fault_end, victim)
 
     # ---------------- proposal ----------------
     system = DistributedSystem.build(config)
     tracker = AvailabilityTracker(fault_start, fault_end)
-    system.env.process(
-        crasher(system.env, system.network.faults, crash_site), name="crasher"
-    )
+    crash_schedule(crash_site).install(system.env, system.network.faults)
     run_open(
         system,
         per_site,
@@ -97,9 +96,7 @@ def run_fault_experiment(
     # ---------------- centralized ----------------
     central = CentralizedSystem(config, request_timeout=10.0)
     tracker_c = AvailabilityTracker(fault_start, fault_end)
-    central.env.process(
-        crasher(central.env, central.network.faults, CENTER), name="crasher"
-    )
+    crash_schedule(CENTER).install(central.env, central.network.faults)
     run_open(
         central,
         per_site,
@@ -143,22 +140,14 @@ def run_partition_experiment(
 
     availability: Dict[str, Dict[str, tuple]] = {}
 
-    def partitioner(env, faults, groups):
-        yield env.timeout(fault_start)
-        faults.partition(groups)
-        yield env.timeout(fault_end - fault_start)
-        faults.heal()
+    def partition_schedule(*groups):
+        return FaultSchedule().partition(fault_start, *groups).heal(fault_end)
 
     # ---------------- proposal: maker isolated ----------------
     system = DistributedSystem.build(config)
     tracker = AvailabilityTracker(fault_start, fault_end)
-    system.env.process(
-        partitioner(
-            system.env,
-            system.network.faults,
-            [[config.maker], list(config.retailers)],
-        ),
-        name="partitioner",
+    partition_schedule([config.maker], list(config.retailers)).install(
+        system.env, system.network.faults
     )
     run_open(
         system,
@@ -174,13 +163,8 @@ def run_partition_experiment(
     # ---------------- centralized: server isolated ----------------
     central = CentralizedSystem(config, request_timeout=10.0)
     tracker_c = AvailabilityTracker(fault_start, fault_end)
-    central.env.process(
-        partitioner(
-            central.env,
-            central.network.faults,
-            [[CENTER], list(config.site_names)],
-        ),
-        name="partitioner",
+    partition_schedule([CENTER], list(config.site_names)).install(
+        central.env, central.network.faults
     )
     run_open(
         central,

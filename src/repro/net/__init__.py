@@ -2,7 +2,7 @@
 
 from repro.net.channel import Channel, ChannelTable
 from repro.net.endpoint import CrashedEndpointError, Endpoint, RequestTimeout
-from repro.net.faults import FaultInjector
+from repro.net.faults import FaultInjector, FaultSchedule, FaultStep
 from repro.net.latency import (
     ConstantLatency,
     LatencyModel,
@@ -12,6 +12,7 @@ from repro.net.latency import (
 )
 from repro.net.message import Message
 from repro.net.network import EndpointNotFound, Network
+from repro.net.reliable import TAG_RELIABLE, ReliabilityParams, ReliableSession
 from repro.net.sizes import DEFAULT_HEADER_BYTES, SizeModel
 from repro.net.stats import (
     MESSAGES_PER_CORRESPONDENCE,
@@ -27,6 +28,8 @@ __all__ = [
     "Endpoint",
     "EndpointNotFound",
     "FaultInjector",
+    "FaultSchedule",
+    "FaultStep",
     "LatencyModel",
     "LognormalLatency",
     "MESSAGES_PER_CORRESPONDENCE",
@@ -34,8 +37,11 @@ __all__ = [
     "Network",
     "NetworkStats",
     "PairwiseLatency",
+    "ReliabilityParams",
+    "ReliableSession",
     "RequestTimeout",
     "SizeModel",
+    "TAG_RELIABLE",
     "DEFAULT_HEADER_BYTES",
     "UniformLatency",
     "correspondences",

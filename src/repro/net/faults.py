@@ -6,15 +6,24 @@ three fault classes the experiments use:
 
 * **site crash** — a crashed endpoint neither sends nor receives;
 * **network partition** — messages crossing partition groups are dropped;
-* **probabilistic message loss** — per-message Bernoulli drop.
+* **probabilistic message loss** — per-message Bernoulli drop, globally
+  or per directed link (overrides the global rate);
+* **link outage** — a directed link drops everything (flapping links
+  alternate outage and service).
 
 All methods may be called mid-simulation; effects apply to messages sent
 after the call (in-flight messages are delivered — links have memory).
+
+:class:`FaultSchedule` is the declarative layer on top: a builder of
+timed fault steps (crash/recover/partition/heal/drop-rate/link faults)
+installed as one simulation process, replacing ad-hoc per-experiment
+crasher generators.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
 
 import numpy as np
 
@@ -32,6 +41,10 @@ class FaultInjector:
         self._crashed: set[str] = set()
         self._partition: Optional[dict[str, int]] = None
         self.drop_probability = drop_probability
+        #: per-directed-link drop probability, overriding the global rate
+        self._link_drop: dict[tuple[str, str], float] = {}
+        #: directed links currently down (flapping, cable pulls)
+        self._down_links: set[tuple[str, str]] = set()
         self._rng = rng
         #: counters for reporting
         self.crashes_injected = 0
@@ -90,6 +103,42 @@ class FaultInjector:
         return self._partition.get(a, -1) == self._partition.get(b, -1)
 
     # ---------------------------------------------------------------- #
+    # link faults
+    # ---------------------------------------------------------------- #
+
+    def set_drop_probability(self, probability: float) -> None:
+        """Change the global Bernoulli loss rate mid-run."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"drop_probability {probability} not in [0, 1]")
+        self.drop_probability = probability
+
+    def set_link_drop(self, src: str, dst: str, probability: float) -> None:
+        """Override the loss rate of the directed ``src → dst`` link."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"link drop {probability} not in [0, 1]")
+        self._link_drop[(src, dst)] = probability
+
+    def clear_link_drop(self, src: str, dst: str) -> None:
+        """Remove a per-link override; the global rate applies again."""
+        self._link_drop.pop((src, dst), None)
+
+    def link_down(self, src: str, dst: str) -> None:
+        """Take the directed ``src → dst`` link down (idempotent)."""
+        self._down_links.add((src, dst))
+
+    def link_up(self, src: str, dst: str) -> None:
+        """Restore a downed link (idempotent)."""
+        self._down_links.discard((src, dst))
+
+    def clear_link_faults(self) -> None:
+        """Drop every per-link override and outage (chaos heal phase)."""
+        self._link_drop.clear()
+        self._down_links.clear()
+
+    def link_is_down(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._down_links
+
+    # ---------------------------------------------------------------- #
     # verdict
     # ---------------------------------------------------------------- #
 
@@ -101,12 +150,16 @@ class FaultInjector:
         if not self.same_partition(src, dst):
             self.messages_dropped += 1
             return True
-        if self.drop_probability > 0.0:
+        if (src, dst) in self._down_links:
+            self.messages_dropped += 1
+            return True
+        probability = self._link_drop.get((src, dst), self.drop_probability)
+        if probability > 0.0:
             if self._rng is None:
                 raise RuntimeError(
                     "drop_probability > 0 requires an rng at construction"
                 )
-            if self._rng.random() < self.drop_probability:
+            if self._rng.random() < probability:
                 self.messages_dropped += 1
                 return True
         return False
@@ -115,5 +168,182 @@ class FaultInjector:
         return (
             f"<FaultInjector crashed={sorted(self._crashed)}"
             f" partitioned={self.partitioned}"
-            f" p_drop={self.drop_probability}>"
+            f" p_drop={self.drop_probability}"
+            f" link_faults={len(self._link_drop) + len(self._down_links)}>"
         )
+
+
+@dataclass(frozen=True)
+class FaultStep:
+    """One timed action in a :class:`FaultSchedule`."""
+
+    time: float
+    action: str
+    args: tuple
+
+    def __str__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"t={self.time:g} {self.action}({inner})"
+
+
+class FaultSchedule:
+    """Declarative, timed fault scenario.
+
+    A chainable builder: each method appends a step, ``install`` spawns
+    one process that sleeps between steps and applies them in time order
+    (insertion order breaks ties). ``on_recover`` lets the harness hook
+    site recovery — the chaos harness passes ``Site.restart`` so a
+    recovery runs the full crash-recovery rejoin instead of merely
+    clearing the crash flag.
+
+    >>> schedule = (FaultSchedule()
+    ...             .crash(100.0, "site0")
+    ...             .recover(400.0, "site0")
+    ...             .drop(0.0, 0.05))
+    """
+
+    def __init__(self) -> None:
+        self._steps: list[FaultStep] = []
+
+    # -- builders ---------------------------------------------------- #
+
+    def _add(self, time: float, action: str, *args) -> "FaultSchedule":
+        if time < 0:
+            raise ValueError(f"negative step time {time}")
+        self._steps.append(FaultStep(time, action, args))
+        return self
+
+    def crash(self, time: float, site: str) -> "FaultSchedule":
+        return self._add(time, "crash", site)
+
+    def recover(self, time: float, site: str) -> "FaultSchedule":
+        """Recover ``site`` (through ``install``'s ``on_recover`` hook)."""
+        return self._add(time, "recover", site)
+
+    def partition(self, time: float, *groups: Iterable[str]) -> "FaultSchedule":
+        return self._add(time, "partition", tuple(tuple(g) for g in groups))
+
+    def heal(self, time: float) -> "FaultSchedule":
+        return self._add(time, "heal")
+
+    def drop(self, time: float, probability: float) -> "FaultSchedule":
+        """Set the global loss rate at ``time``."""
+        return self._add(time, "drop", probability)
+
+    def link_drop(
+        self, time: float, src: str, dst: str, probability: Optional[float]
+    ) -> "FaultSchedule":
+        """Override one directed link's loss rate (``None`` clears it)."""
+        return self._add(time, "link_drop", src, dst, probability)
+
+    def link_down(self, time: float, src: str, dst: str) -> "FaultSchedule":
+        return self._add(time, "link_down", src, dst)
+
+    def link_up(self, time: float, src: str, dst: str) -> "FaultSchedule":
+        return self._add(time, "link_up", src, dst)
+
+    def flap(
+        self,
+        src: str,
+        dst: str,
+        start: float,
+        end: float,
+        period: float,
+        both_ways: bool = True,
+    ) -> "FaultSchedule":
+        """Alternate link outage/service every ``period/2`` in a window.
+
+        Expands into explicit down/up steps and always ends with the
+        link up at ``end``.
+        """
+        if period <= 0:
+            raise ValueError("flap period must be positive")
+        if end <= start:
+            raise ValueError("flap window must have positive length")
+        t = start
+        down = True
+        while t < end:
+            action = "link_down" if down else "link_up"
+            self._add(t, action, src, dst)
+            if both_ways:
+                self._add(t, action, dst, src)
+            down = not down
+            t += period / 2.0
+        self._add(end, "link_up", src, dst)
+        if both_ways:
+            self._add(end, "link_up", dst, src)
+        return self
+
+    # -- inspection --------------------------------------------------- #
+
+    @property
+    def steps(self) -> list[FaultStep]:
+        """Steps in application order (time, then insertion order)."""
+        return sorted(self._steps, key=lambda s: s.time)
+
+    @property
+    def last_time(self) -> float:
+        """Time of the final step (0.0 for an empty schedule)."""
+        return max((s.time for s in self._steps), default=0.0)
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    # -- execution ---------------------------------------------------- #
+
+    def install(
+        self,
+        env,
+        faults: FaultInjector,
+        on_recover: Optional[Callable[[str], None]] = None,
+    ):
+        """Spawn the process that applies the steps; returns it.
+
+        ``on_recover(site)`` replaces the plain ``faults.recover`` for
+        recover steps (it is then responsible for clearing the crash
+        flag — :meth:`repro.cluster.site.Site.restart` does).
+        """
+        steps = self.steps
+
+        def runner():
+            for step in steps:
+                if step.time > env.now:
+                    yield env.timeout(step.time - env.now)
+                self._apply(step, faults, on_recover)
+
+        return env.process(runner(), name="fault.schedule")
+
+    @staticmethod
+    def _apply(
+        step: FaultStep,
+        faults: FaultInjector,
+        on_recover: Optional[Callable[[str], None]],
+    ) -> None:
+        if step.action == "crash":
+            faults.crash(step.args[0])
+        elif step.action == "recover":
+            if on_recover is not None:
+                on_recover(step.args[0])
+            else:
+                faults.recover(step.args[0])
+        elif step.action == "partition":
+            faults.partition(step.args[0])
+        elif step.action == "heal":
+            faults.heal()
+        elif step.action == "drop":
+            faults.set_drop_probability(step.args[0])
+        elif step.action == "link_drop":
+            src, dst, probability = step.args
+            if probability is None:
+                faults.clear_link_drop(src, dst)
+            else:
+                faults.set_link_drop(src, dst, probability)
+        elif step.action == "link_down":
+            faults.link_down(step.args[0], step.args[1])
+        elif step.action == "link_up":
+            faults.link_up(step.args[0], step.args[1])
+        else:  # pragma: no cover - builder methods are the only writers
+            raise ValueError(f"unknown fault action {step.action!r}")
+
+    def __repr__(self) -> str:
+        return f"<FaultSchedule {len(self._steps)} steps last_t={self.last_time:g}>"

@@ -1,0 +1,60 @@
+"""Chaos harness: fault schedules must end in convergence + clean audit."""
+
+import pytest
+
+from repro.cluster import paper_config
+from repro.experiments.chaos import (
+    FULL_SCENARIOS,
+    LOSS_RULES,
+    SMALL_SCENARIOS,
+    run_chaos,
+    run_chaos_scenario,
+)
+
+
+class TestScenarios:
+    def test_small_suite_covers_required_schedules(self):
+        names = [s.name for s in SMALL_SCENARIOS]
+        assert names == ["maker-crash", "retailer-crash", "partition-loss"]
+        assert set(names) < {s.name for s in FULL_SCENARIOS}
+
+    def test_schedules_build_for_paper_config(self):
+        config = paper_config()
+        for scenario in FULL_SCENARIOS:
+            schedule = scenario.build(config)
+            assert len(schedule) > 0
+            assert schedule.last_time > 0
+
+
+class TestChaosRuns:
+    def test_maker_crash_converges(self):
+        result = run_chaos_scenario(SMALL_SCENARIOS[0], n_updates=45)
+        assert result.ok
+        assert result.converged
+        assert result.report.ok
+        assert not result.loss_warnings
+        assert "PASS" in result.render()
+
+    def test_partition_loss_exercises_robustness_layer(self):
+        result = run_chaos_scenario(SMALL_SCENARIOS[2], n_updates=45)
+        assert result.ok
+        counters = result.report.counters
+        # 5% loss must actually bite — and be absorbed, not warned about.
+        assert counters["rel_covered_drops"] > 0
+        assert (
+            counters["leases_opened"]
+            == counters["leases_discharged"] + counters["leases_reverted"]
+        )
+        for rule in LOSS_RULES:
+            assert not result.report.by_rule(rule)
+
+    def test_small_report_aggregates(self):
+        report = run_chaos(small=True, n_updates=45)
+        assert report.ok
+        assert len(report.results) == 3
+        assert "3/3" in report.render()
+
+    def test_cli_smoke(self):
+        from repro.cli import main
+
+        assert main(["chaos", "--small", "--updates", "30"]) == 0
