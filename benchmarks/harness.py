@@ -1,0 +1,241 @@
+#!/usr/bin/env python
+"""End-to-end benchmark harness for the sharded experiment runner.
+
+Runs the fig6 / table1 / chaos sweep grids under both **sequential**
+(``shards=1``, fully in-process) and **sharded** execution, verifies the
+two produce byte-identical results, and emits one JSON report per grid
+(``benchmarks/results/BENCH_fig6.json`` etc.) with:
+
+* wall time per mode,
+* simulation events per second,
+* sharded-over-sequential speedup,
+* peak RSS (self + children),
+* a host *calibration score* (pure-python spin loop) so throughput can
+  be compared across machines of different speeds.
+
+The ``--check-baseline`` flag turns the harness into a regression gate:
+the current sequential throughput is compared against the committed
+baseline JSON, **normalised by the calibration score**, and the run
+fails if it regressed by more than the tolerance (default 10%, override
+with ``--tolerance`` or ``REPRO_BENCH_TOLERANCE``). CI runs
+``python benchmarks/harness.py --small --check-baseline``.
+
+Note on speedup: the sharded mode pays per-worker process start-up, so
+on small grids (and especially on single-core machines — ``cpu_count``
+is recorded in the JSON) the speedup can be < 1. It approaches the
+shard count as grids grow and cores are available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.perf import build_grid, run_sweep  # noqa: E402
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: grids the harness covers, keyed by the experiment label used in the
+#: BENCH_<label>.json filename
+BENCH_GRIDS = {
+    "fig6": ("fig6-small", "fig6"),
+    "table1": ("table1-small", "table1"),
+    "chaos": ("chaos-small", "chaos"),
+}
+
+_CALIBRATION_LOOPS = 2_000_000
+
+
+def calibrate() -> float:
+    """Host speed score in kops/s from a fixed pure-python spin loop.
+
+    Dividing measured throughput by this score gives a machine-neutral
+    figure, which is what the baseline gate compares — so a slower CI
+    runner doesn't read as a code regression.
+    """
+    acc = 0
+    start = time.perf_counter()
+    for i in range(_CALIBRATION_LOOPS):
+        acc += i & 7
+    elapsed = time.perf_counter() - start
+    assert acc  # keep the loop honest
+    return _CALIBRATION_LOOPS / elapsed / 1000.0
+
+
+def _peak_rss_mb() -> float:
+    """Peak resident set size in MiB, including reaped children."""
+    self_rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    child_rss = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    divisor = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    return max(self_rss, child_rss) / divisor
+
+
+def _timed_sweep(tasks, shards: int, grid: str, root_seed: int):
+    start = time.perf_counter()
+    sweep = run_sweep(tasks, shards=shards, grid=grid, root_seed=root_seed)
+    wall = time.perf_counter() - start
+    return sweep, wall
+
+
+def bench_grid(
+    label: str, grid: str, root_seed: int, shards: int, calibration: float
+) -> dict:
+    """Benchmark one grid sequential vs sharded; return the report dict."""
+    tasks = build_grid(grid, root_seed=root_seed)
+
+    seq, seq_wall = _timed_sweep(tasks, 1, grid, root_seed)
+    shd, shd_wall = _timed_sweep(tasks, shards, grid, root_seed)
+
+    events = seq.events_processed
+    seq_eps = events / seq_wall if seq_wall > 0 else 0.0
+    shd_eps = events / shd_wall if shd_wall > 0 else 0.0
+    report = {
+        "experiment": label,
+        "grid": grid,
+        "root_seed": root_seed,
+        "tasks": len(tasks),
+        "cpu_count": os.cpu_count(),
+        "calibration_kops": round(calibration, 1),
+        "events_processed": events,
+        "sequential": {
+            "wall_s": round(seq_wall, 4),
+            "events_per_sec": round(seq_eps, 1),
+            "normalized_throughput": round(seq_eps / calibration, 4),
+        },
+        "sharded": {
+            "shards": shards,
+            "wall_s": round(shd_wall, 4),
+            "events_per_sec": round(shd_eps, 1),
+            "speedup": round(seq_wall / shd_wall, 3) if shd_wall > 0 else 0.0,
+            "retries": shd.retries,
+        },
+        "digest": seq.digest(),
+        "digest_match": seq.canonical() == shd.canonical(),
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+    }
+    return report
+
+
+def check_baseline(report: dict, baseline_path: Path, tolerance: float) -> str:
+    """Compare a fresh report against the committed baseline.
+
+    Returns an error message, or ``""`` if the gate passes. Only the
+    *normalised* sequential throughput is compared — raw wall time moves
+    with the host, normalised throughput only moves with the code.
+    """
+    if not baseline_path.exists():
+        return f"no committed baseline at {baseline_path}"
+    baseline = json.loads(baseline_path.read_text())
+    if baseline.get("grid") != report["grid"]:
+        return (
+            f"baseline grid {baseline.get('grid')!r} does not match"
+            f" current grid {report['grid']!r} — regenerate the baseline"
+        )
+    base = baseline["sequential"]["normalized_throughput"]
+    cur = report["sequential"]["normalized_throughput"]
+    if base <= 0:
+        return f"baseline normalized_throughput is {base}; regenerate it"
+    ratio = cur / base
+    if ratio < 1.0 - tolerance:
+        return (
+            f"{report['grid']}: sequential throughput regressed"
+            f" {100 * (1 - ratio):.1f}% vs baseline"
+            f" (normalised {cur:.4f} vs {base:.4f},"
+            f" tolerance {100 * tolerance:.0f}%)"
+        )
+    return ""
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--small", action="store_true",
+        help="run the CI-sized -small grids",
+    )
+    parser.add_argument(
+        "--experiments", nargs="*", choices=sorted(BENCH_GRIDS),
+        default=sorted(BENCH_GRIDS),
+        help="which experiments to benchmark",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="sweep root seed")
+    parser.add_argument(
+        "--shards", type=int, default=0,
+        help="shard count for the sharded mode (default: min(4, cpus))",
+    )
+    parser.add_argument(
+        "--check-baseline", action="store_true",
+        help="fail if sequential fig6 throughput regressed vs the"
+             " committed BENCH_fig6.json (calibration-normalised)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float,
+        default=float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.10")),
+        help="allowed fractional regression for --check-baseline",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true",
+        help="do not overwrite the committed BENCH_*.json files",
+    )
+    args = parser.parse_args(argv)
+
+    shards = args.shards or min(4, os.cpu_count() or 1)
+    if shards < 2:
+        shards = 2  # always exercise the multiprocessing path
+
+    calibration = calibrate()
+    print(f"host calibration: {calibration:.0f} kops/s,"
+          f" {os.cpu_count()} cpu(s); sharded mode uses {shards} shards")
+
+    failures = []
+    for label in args.experiments:
+        small_grid, full_grid = BENCH_GRIDS[label]
+        grid = small_grid if args.small else full_grid
+        report = bench_grid(label, grid, args.seed, shards, calibration)
+        seq, shd = report["sequential"], report["sharded"]
+        print(
+            f"{grid:>14}: seq {seq['wall_s']:.3f}s"
+            f" ({seq['events_per_sec']:.0f} ev/s)"
+            f" | sharded x{shards} {shd['wall_s']:.3f}s"
+            f" (speedup {shd['speedup']:.2f})"
+            f" | digests {'match' if report['digest_match'] else 'DIFFER'}"
+        )
+        if not report["digest_match"]:
+            failures.append(f"{grid}: sharded digest differs from sequential")
+
+        out_path = RESULTS_DIR / f"BENCH_{label}.json"
+        if args.check_baseline and label == "fig6":
+            err = check_baseline(report, out_path, args.tolerance)
+            if err:
+                failures.append(err)
+            else:
+                base = json.loads(out_path.read_text())
+                print(
+                    f"  baseline gate OK: normalised"
+                    f" {seq['normalized_throughput']:.4f} vs committed"
+                    f" {base['sequential']['normalized_throughput']:.4f}"
+                    f" (tolerance {100 * args.tolerance:.0f}%)"
+                )
+        if not args.no_write and not args.check_baseline:
+            RESULTS_DIR.mkdir(exist_ok=True)
+            out_path.write_text(json.dumps(report, indent=2) + "\n")
+            print(f"  wrote {out_path.relative_to(Path.cwd())}"
+                  if out_path.is_relative_to(Path.cwd())
+                  else f"  wrote {out_path}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

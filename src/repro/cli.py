@@ -144,29 +144,98 @@ def _cmd_latency(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.experiments import (
-        SWEEP_HEADERS,
-        sweep_av_fraction,
-        sweep_items,
-        sweep_rows,
-        sweep_scale,
-    )
-    from repro.metrics.report import text_table
+    if args.dimension in ("items", "scale", "av-fraction"):
+        from repro.experiments import (
+            SWEEP_HEADERS,
+            sweep_av_fraction,
+            sweep_items,
+            sweep_rows,
+            sweep_scale,
+        )
+        from repro.metrics.report import text_table
 
-    sweeps = {
-        "items": sweep_items,
-        "scale": sweep_scale,
-        "av-fraction": sweep_av_fraction,
-    }
-    fn = sweeps[args.dimension]
+        sweeps = {
+            "items": sweep_items,
+            "scale": sweep_scale,
+            "av-fraction": sweep_av_fraction,
+        }
+        fn = sweeps[args.dimension]
+        print(
+            text_table(
+                SWEEP_HEADERS,
+                sweep_rows(fn(seed=args.seed)),
+                title=f"Sweep over {args.dimension}",
+            )
+        )
+        return 0
+    return _run_grid_sweep(args)
+
+
+def _run_grid_sweep(args: argparse.Namespace) -> int:
+    """Sharded seed × config grid sweep (see repro.perf)."""
+    import time
+
+    from repro.metrics.report import text_table
+    from repro.perf import build_grid, run_sweep
+
+    tasks = build_grid(
+        args.dimension,
+        root_seed=args.seed,
+        replicates=args.replicates,
+        check=args.check,
+    )
+    started = time.perf_counter()  # repro-lint: disable=wall-clock (host timing of the sweep harness, not simulation)
+    sweep = run_sweep(
+        tasks,
+        shards=args.shards,
+        grid=args.dimension,
+        root_seed=args.seed,
+        crash=None,
+    )
+    wall = time.perf_counter() - started  # repro-lint: disable=wall-clock (host timing of the sweep harness, not simulation)
+
+    rows = []
+    for task, result in zip(sweep.tasks, sweep.results):
+        counters = result.get("counters", {})
+        rows.append(
+            [
+                task.index,
+                task.experiment + (f":{task.scenario}" if task.scenario else ""),
+                task.seed,
+                task.n_updates,
+                counters.get("events_processed", ""),
+                round(result["reduction"], 3) if "reduction" in result else "",
+                (
+                    "ok"
+                    if result.get("ok", True)
+                    and result.get("sanitizer", {}).get("violations", 0) == 0
+                    else "FAIL"
+                ),
+            ]
+        )
     print(
         text_table(
-            SWEEP_HEADERS,
-            sweep_rows(fn(seed=args.seed)),
-            title=f"Sweep over {args.dimension}",
+            ["task", "experiment", "seed", "updates", "events", "reduction", "status"],
+            rows,
+            title=(
+                f"Sweep {args.dimension} (root seed {args.seed},"
+                f" shards={args.shards}, retries={sweep.retries})"
+            ),
         )
     )
-    return 0
+    events = sweep.events_processed
+    print(
+        f"\n{len(sweep.results)} tasks, {events} kernel events,"
+        f" {wall:.2f}s wall ({events / wall:,.0f} events/s)"
+        f"\nresult digest: {sweep.digest()}"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(sweep.canonical())
+            fh.write("\n")
+        print(f"wrote canonical results to {args.out}")
+    bad = [r for r in rows if r[-1] == "FAIL"]
+    return 1 if bad else 0
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -310,9 +379,40 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.set_defaults(fn=_cmd_latency)
 
-    p = sub.add_parser("sweep", help="parameter sweeps")
-    p.add_argument("dimension", choices=["items", "scale", "av-fraction"])
-    p.add_argument("--seed", type=int, default=0)
+    p = sub.add_parser(
+        "sweep",
+        help=(
+            "parameter sweeps (items/scale/av-fraction) and sharded"
+            " seed-grid sweeps (fig6[-small], table1[-small],"
+            " chaos[-small])"
+        ),
+    )
+    from repro.perf.grids import GRID_NAMES
+
+    p.add_argument(
+        "dimension",
+        choices=["items", "scale", "av-fraction", *GRID_NAMES],
+    )
+    p.add_argument("--seed", type=int, default=0, help="root seed")
+    p.add_argument(
+        "--shards", type=int, default=1,
+        help=(
+            "fan the grid across N worker processes (grid sweeps only;"
+            " results are byte-identical for any N)"
+        ),
+    )
+    p.add_argument(
+        "--replicates", type=int, default=None,
+        help="override the grid's replicate count (grid sweeps only)",
+    )
+    p.add_argument(
+        "--check", action="store_true",
+        help="also replay each task under the protocol sanitizer",
+    )
+    p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the canonical JSON results (determinism surface)",
+    )
     p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser(

@@ -162,6 +162,12 @@ class Accelerator:
         #: the first time a sync partially delivers). Eager propagation
         #: keeps this empty.
         self.owed: dict[tuple[str, str], float] = {}
+        # Dirty-set index over `owed`: item -> number of (peer, item)
+        # balances currently non-zero. Maintained incrementally by
+        # `_set_owed` so the periodic sync scan touches only dirty items
+        # (O(dirty), O(1) when clean) instead of rescanning the whole
+        # ledger every pass.
+        self._dirty_items: dict[str, int] = {}
         # Freeze/quiesce machinery for reclassification: a frozen item
         # admits no new Delay updates, and `quiesce` fires once in-flight
         # ones drain.
@@ -315,15 +321,39 @@ class Accelerator:
     # lazy propagation (batched sync)
     # ---------------------------------------------------------------- #
 
+    def _set_owed(self, key: tuple[str, str], balance: float) -> None:
+        """Write one owed balance, keeping the dirty-item index exact.
+
+        Every mutation of ``self.owed`` must route through here (or
+        :meth:`_pop_owed`): the index is what makes the periodic sync
+        scan O(dirty) rather than O(all balances).
+        """
+        owed = self.owed
+        if balance == 0.0:
+            self._pop_owed(key)
+        else:
+            if key not in owed:
+                item = key[1]
+                self._dirty_items[item] = self._dirty_items.get(item, 0) + 1
+            owed[key] = balance
+
+    def _pop_owed(self, key: tuple[str, str]) -> float:
+        """Remove one owed balance (0.0 if absent), updating the index."""
+        balance = self.owed.pop(key, 0.0)
+        if balance != 0.0:
+            item = key[1]
+            remaining = self._dirty_items[item] - 1
+            if remaining:
+                self._dirty_items[item] = remaining
+            else:
+                del self._dirty_items[item]
+        return balance
+
     def record_unsynced(self, item: str, delta: float) -> None:
         """Remember a committed Delay delta each peer has not seen yet."""
         for peer in self.endpoint.peers():
             key = (peer, item)
-            balance = self.owed.get(key, 0.0) + delta
-            if balance == 0.0:
-                self.owed.pop(key, None)
-            else:
-                self.owed[key] = balance
+            self._set_owed(key, self.owed.get(key, 0.0) + delta)
 
     def owed_to(self, peer: str, item: str) -> float:
         """Net delta ``peer`` has not yet seen for ``item``."""
@@ -331,25 +361,21 @@ class Accelerator:
 
     def take_owed(self, peer: str, item: str) -> float:
         """Claim (and clear) the balance owed to ``peer`` for ``item``."""
-        return self.owed.pop((peer, item), 0.0)
+        return self._pop_owed((peer, item))
 
     def retain_owed(self, peer: str, item: str, delta: float) -> None:
         """Fold a delta back into the owed ledger (undelivered push)."""
         key = (peer, item)
-        balance = self.owed.get(key, 0.0) + delta
-        if balance == 0.0:
-            self.owed.pop(key, None)
-        else:
-            self.owed[key] = balance
+        self._set_owed(key, self.owed.get(key, 0.0) + delta)
 
     def clear_owed_item(self, item: str) -> None:
         """Drop every balance for ``item`` (its value was superseded)."""
         for key in [k for k in self.owed if k[1] == item]:
-            del self.owed[key]
+            self._pop_owed(key)
 
     def unsynced_items(self) -> set[str]:
-        """Items with any pending balance."""
-        return {item for _, item in self.owed}
+        """Items with any pending balance (O(dirty), via the index)."""
+        return set(self._dirty_items)
 
     def sync_item(self, item: str, parent=None, only=None) -> int:
         """Push the item's batched delta to every live peer it is owed to.
@@ -396,11 +422,11 @@ class Accelerator:
                     )
                 )
             else:
-                self.owed.pop(key)
+                self._pop_owed(key)
                 self.endpoint.send(peer, "prop.push", payload, tag=TAG_PROPAGATE)
             sent += 1
         span.finish(self.now, messages=sent)
-        if sent:
+        if sent and self.tracer.enabled:
             self.trace("sync.push", f"{item} to {sent} peers")
         return sent
 
@@ -418,24 +444,24 @@ class Accelerator:
         current = self.owed.get(key)
         if current is None:
             return  # superseded (e.g. clear_owed_item during reclassify)
-        remaining = current - delta
-        if remaining == 0.0:
-            self.owed.pop(key, None)
-        else:
-            self.owed[key] = remaining
+        self._set_owed(key, current - delta)
 
     def sync_to(self, peer: str, parent=None) -> int:
         """Push every balance owed to one peer (serves rejoin flushes)."""
         return sum(
             self.sync_item(item, parent=parent, only={peer})
-            for item in sorted(self.unsynced_items())
+            for item in sorted(self._dirty_items)
         )
 
     def sync_all(self, parent=None) -> int:
-        """Push every pending batched delta; returns messages sent."""
+        """Push every pending batched delta; returns messages sent.
+
+        Scans only the dirty-item index — a clean pass is O(1), and a
+        dirty one touches exactly the items with outstanding balances.
+        """
         return sum(
             self.sync_item(item, parent=parent)
-            for item in sorted(self.unsynced_items())
+            for item in sorted(self._dirty_items)
         )
 
     # ---------------------------------------------------------------- #

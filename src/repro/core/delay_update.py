@@ -112,7 +112,10 @@ class DelayUpdateProtocol:
             # exceeds the bound.
             accel.obs.emit("av.mint", accel.now, site=accel.site, item=item, amount=delta)
             av.add(item, delta)
-            accel.trace("delay.local", f"{req} minted {delta:g} AV")
+            # Guard the trace calls on the zero-message paths: rendering
+            # the request string dominates an otherwise O(1) local commit.
+            if accel.tracer.enabled:
+                accel.trace("delay.local", f"{req} minted {delta:g} AV")
             self._propagate(item, delta, span)
             return self._done(req, UpdateOutcome.COMMITTED, local=True)
 
@@ -124,7 +127,8 @@ class DelayUpdateProtocol:
             # only dips in between.
             accel.obs.emit("av.spend", accel.now, site=accel.site, item=item, amount=need)
             self._apply(item, delta, span)
-            accel.trace("delay.local", f"{req} covered by local AV")
+            if accel.tracer.enabled:
+                accel.trace("delay.local", f"{req} covered by local AV")
             self._propagate(item, delta, span)
             return self._done(req, UpdateOutcome.COMMITTED, local=True)
 

@@ -62,6 +62,8 @@ class ChaosResult:
     loss_warnings: List[Violation]
     updates_issued: int
     updates_completed: int
+    #: kernel events processed by the scenario's simulation
+    events_processed: int = 0
 
     @property
     def ok(self) -> bool:
@@ -281,6 +283,7 @@ def run_chaos_scenario(
         loss_warnings=loss,
         updates_issued=len(trace),
         updates_completed=completed[0],
+        events_processed=system.env.events_processed,
     )
 
 

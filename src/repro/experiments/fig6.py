@@ -13,8 +13,8 @@ ratio, and the local-completion ratio.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
 
 from repro.baselines.centralized import CentralizedSystem
 from repro.cluster import DistributedSystem, paper_config
@@ -37,6 +37,11 @@ class Fig6Result:
     seed: int
     #: the proposal run's observability hub when run with observe=True
     obs: Optional[object] = None
+    #: final replica values per site (proposal run) — the determinism
+    #: fingerprint the sharded sweep runner compares byte-for-byte
+    replicas: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: kernel events processed by the proposal run (throughput metric)
+    events_processed: int = 0
 
     @property
     def proposal_series(self) -> CorrespondenceSeries:
@@ -165,4 +170,9 @@ def run_fig6(
         n_updates=n_updates,
         seed=seed,
         obs=proposal_system.obs if observe else None,
+        replicas={
+            name: site.store.as_dict()
+            for name, site in proposal_system.sites.items()
+        },
+        events_processed=proposal_system.env.events_processed,
     )

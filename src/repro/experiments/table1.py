@@ -14,7 +14,7 @@ qualitative claims:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.baselines.centralized import CentralizedSystem
@@ -39,6 +39,11 @@ class Table1Result:
     seed: int
     #: the proposal run's observability hub when run with observe=True
     obs: Optional[object] = None
+    #: final replica values per site (proposal run) — the determinism
+    #: fingerprint the sharded sweep runner compares byte-for-byte
+    replicas: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: kernel events processed by the proposal run (throughput metric)
+    events_processed: int = 0
 
     def assurance(self) -> AssuranceReport:
         """The paper's assurance claim, quantified on the final checkpoint."""
@@ -143,4 +148,9 @@ def run_table1(
         n_updates=n_updates,
         seed=seed,
         obs=proposal_system.obs if observe else None,
+        replicas={
+            name: site.store.as_dict()
+            for name, site in proposal_system.sites.items()
+        },
+        events_processed=proposal_system.env.events_processed,
     )

@@ -8,6 +8,7 @@ and ``reply_to`` carries the correlation id for request/reply RPC.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from itertools import count
 from typing import Any, Optional
@@ -48,8 +49,16 @@ class Message:
     expects_reply: bool = False
 
     def __post_init__(self) -> None:
-        if not self.tag:
-            object.__setattr__(self, "tag", self.kind.split(".", 1)[0])
+        # Kinds and tags come from a small fixed vocabulary but are
+        # compared and hashed on every dispatch/accounting step; intern
+        # them so those operations hit the pointer-equality fast path.
+        object.__setattr__(self, "kind", sys.intern(self.kind))
+        if self.tag:
+            object.__setattr__(self, "tag", sys.intern(self.tag))
+        else:
+            object.__setattr__(
+                self, "tag", sys.intern(self.kind.split(".", 1)[0])
+            )
 
     @property
     def is_reply(self) -> bool:

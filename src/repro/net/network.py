@@ -141,12 +141,16 @@ class Network:
             else None
         )
         self.stats.record_send(msg, size=size)
-        self.tracer.emit(self.env.now, "msg.send", msg.src, str(msg))
+        # str(msg) is costly on the per-message hot path; only render it
+        # when a real tracer is attached.
+        if self.tracer.enabled:
+            self.tracer.emit(self.env.now, "msg.send", msg.src, str(msg))
         self._notify("send", msg)
 
         if self.faults.should_drop(msg.src, msg.dst):
             self.stats.record_drop(msg, size=size)
-            self.tracer.emit(self.env.now, "msg.drop", msg.src, str(msg))
+            if self.tracer.enabled:
+                self.tracer.emit(self.env.now, "msg.drop", msg.src, str(msg))
             self._notify("drop", msg)
             return
 
@@ -171,10 +175,12 @@ class Network:
                 else None
             )
             self.stats.record_drop(msg, size=size)
-            self.tracer.emit(self.env.now, "msg.drop", msg.dst, str(msg))
+            if self.tracer.enabled:
+                self.tracer.emit(self.env.now, "msg.drop", msg.dst, str(msg))
             self._notify("drop", msg)
             return
-        self.tracer.emit(self.env.now, "msg.recv", msg.dst, str(msg))
+        if self.tracer.enabled:
+            self.tracer.emit(self.env.now, "msg.recv", msg.dst, str(msg))
         self._notify("recv", msg)
         endpoint._receive(msg)
 

@@ -11,6 +11,7 @@ gain ``bytes_*`` counters.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -18,6 +19,17 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: fixed per-message envelope: src/dst ids, kind tag, msg id, flags
 DEFAULT_HEADER_BYTES = 24
+
+
+@lru_cache(maxsize=65536)
+def _str_size(value: str) -> int:
+    """Encoded size of one string (length prefix + UTF-8 bytes).
+
+    Payload dict keys and item/site names come from a small vocabulary
+    that repeats on every message, so this is the sizing hot path; the
+    cache turns a per-call UTF-8 encode into a dict lookup.
+    """
+    return 2 + len(value.encode("utf-8"))
 
 
 class SizeModel:
@@ -43,7 +55,7 @@ class SizeModel:
         if isinstance(payload, (int, float)):
             return 8
         if isinstance(payload, str):
-            return 2 + len(payload.encode("utf-8"))
+            return _str_size(payload)
         if isinstance(payload, bytes):
             return 2 + len(payload)
         if isinstance(payload, dict):

@@ -1,0 +1,275 @@
+"""The sharded experiment runner.
+
+Fans a sweep (a list of :class:`~repro.perf.tasks.SweepTask`) across
+worker processes and merges the results back **in task order**, so the
+merged output is independent of shard count, scheduling, and retries —
+``--shards 4`` is byte-identical to ``--shards 1`` (asserted by
+``tests/test_perf_determinism.py``).
+
+Design choices the determinism guarantee rests on:
+
+* **Deterministic partitioning** — shard *i* of *N* gets tasks
+  ``sorted_tasks[i::N]`` (round-robin over the index order). No work
+  stealing: which process runs a task is a pure function of the task
+  list and the shard count.
+* **Self-seeded tasks** — each task builds its entire simulation from
+  its own seed, so the result is a function of the task alone and can
+  be recomputed anywhere (which is also what makes retry sound).
+* **Ordered merge** — workers report ``(task index, payload)``; the
+  parent stores results by index and emits them sorted. Arrival order
+  (which *does* vary with scheduling) never reaches the output.
+* **Crash retry** — a worker that dies without delivering all its
+  results (crash, OOM-kill, ``os._exit``) loses nothing but time: the
+  parent re-partitions the missing tasks over a fresh wave of workers.
+  Because tasks are pure, the retried results are identical to what the
+  dead worker would have produced.
+
+The ``fork`` start method is preferred (no re-import cost per worker);
+``spawn`` is the fallback where fork is unavailable. Results are
+per-task dicts either way, so both methods produce identical output.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.perf.tasks import SweepTask, canonical_json, digest, run_task
+
+
+class SweepError(RuntimeError):
+    """A sweep could not complete (workers kept crashing)."""
+
+
+@dataclass(frozen=True)
+class ShardCrash:
+    """Fault-injection hook for the worker-failure tests.
+
+    The worker running shard ``shard`` hard-exits (``os._exit``) after
+    completing ``after`` tasks — but only on the sweep's first attempt,
+    so the retry wave observes a healthy worker. Modelling the crash as
+    a first-attempt-only property keeps the test deterministic without
+    any cross-process handshake.
+    """
+
+    shard: int
+    after: int = 0
+    exit_code: int = 73
+
+
+@dataclass
+class SweepResult:
+    """A completed sweep: ordered results plus runner diagnostics."""
+
+    grid: str
+    root_seed: int
+    shards: int
+    tasks: List[SweepTask]
+    #: task fingerprints, sorted by task index
+    results: List[dict] = field(default_factory=list)
+    #: number of retry waves that were needed (0 = no worker crashed)
+    retries: int = 0
+
+    @property
+    def events_processed(self) -> int:
+        """Total kernel events across all task simulations."""
+        return sum(
+            r.get("counters", {}).get("events_processed", 0)
+            for r in self.results
+        )
+
+    def canonical(self) -> str:
+        """The determinism surface: canonical JSON of the merged results.
+
+        Deliberately excludes ``shards`` and ``retries`` — those
+        describe *how* the sweep ran, and the whole point is that they
+        must not influence *what* it produced.
+        """
+        return canonical_json(
+            {
+                "grid": self.grid,
+                "root_seed": self.root_seed,
+                "results": self.results,
+            }
+        )
+
+    def digest(self) -> str:
+        """SHA-256 of :meth:`canonical` (what the CLI prints)."""
+        return digest(
+            {
+                "grid": self.grid,
+                "root_seed": self.root_seed,
+                "results": self.results,
+            }
+        )
+
+
+def partition_tasks(
+    tasks: List[SweepTask], shards: int
+) -> List[List[SweepTask]]:
+    """Round-robin tasks over shards, deterministically.
+
+    Tasks are laid out in index order and dealt like cards: shard ``i``
+    receives positions ``i, i+shards, i+2·shards, ...``. Round-robin
+    balances heterogeneous grids better than contiguous blocks (long
+    tasks tend to cluster), and the dealing order is reproducible, which
+    the byte-identity guarantee requires.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    ordered = sorted(tasks, key=lambda t: t.index)
+    return [ordered[i::shards] for i in range(shards)]
+
+
+def _shard_worker(
+    shard_id: int,
+    tasks: List[SweepTask],
+    out_queue,
+    crash: Optional[ShardCrash],
+) -> None:
+    """Worker body: run tasks, stream results back, then a sentinel."""
+    completed = 0
+    for task in tasks:
+        if crash is not None and completed >= crash.after:
+            # Simulated hard death: bypasses atexit/queue flushing,
+            # exactly like a SIGKILL mid-task.
+            os._exit(crash.exit_code)
+        out_queue.put(("res", task.index, run_task(task)))
+        completed += 1
+    if crash is not None:
+        # A crash-injected worker always dies — if its task list was
+        # shorter than `after`, it dies here, before the sentinel, so
+        # the parent still observes a crashed shard.
+        os._exit(crash.exit_code)
+    out_queue.put(("done", shard_id, None))
+
+
+def _mp_context(start_method: Optional[str]):
+    if start_method is None:
+        methods = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else "spawn"
+    return multiprocessing.get_context(start_method)
+
+
+def _run_wave(
+    ctx,
+    todo: List[SweepTask],
+    shards: int,
+    crash: Optional[ShardCrash],
+    results: Dict[int, dict],
+) -> bool:
+    """Run one wave of workers over ``todo``; returns True if any died."""
+    chunks = [c for c in partition_tasks(todo, shards) if c]
+    out_queue = ctx.Queue()
+    procs: Dict[int, object] = {}
+    for shard_id, chunk in enumerate(chunks):
+        shard_crash = (
+            crash
+            if crash is not None and crash.shard == shard_id
+            else None
+        )
+        proc = ctx.Process(
+            target=_shard_worker,
+            args=(shard_id, chunk, out_queue, shard_crash),
+            daemon=True,
+        )
+        proc.start()
+        procs[shard_id] = proc
+
+    finished: set = set()
+    dead: set = set()
+    while len(finished) + len(dead) < len(procs):
+        try:
+            tag, key, payload = out_queue.get(timeout=0.05)
+        except queue_mod.Empty:
+            # No data: check for workers that died without a sentinel.
+            # A clean exit (code 0) always flushes its sentinel first,
+            # so only non-zero exit codes are treated as crashes.
+            for shard_id, proc in procs.items():
+                if shard_id in finished or shard_id in dead:
+                    continue
+                if not proc.is_alive() and proc.exitcode != 0:
+                    dead.add(shard_id)
+            continue
+        if tag == "res":
+            results[key] = payload
+        else:  # "done"
+            finished.add(key)
+
+    # Drain any results that raced the last sentinel.
+    while True:
+        try:
+            tag, key, payload = out_queue.get_nowait()
+        except queue_mod.Empty:
+            break
+        if tag == "res":
+            results[key] = payload
+    for proc in procs.values():
+        proc.join(timeout=10.0)
+    out_queue.close()
+    return bool(dead)
+
+
+def run_sweep(
+    tasks: List[SweepTask],
+    shards: int = 1,
+    grid: str = "",
+    root_seed: int = 0,
+    max_attempts: int = 3,
+    crash: Optional[ShardCrash] = None,
+    start_method: Optional[str] = None,
+) -> SweepResult:
+    """Run a sweep, optionally sharded over worker processes.
+
+    Parameters
+    ----------
+    tasks:
+        The grid (see :func:`repro.perf.grids.build_grid`).
+    shards:
+        ``<= 1`` runs everything in-process (no subprocesses at all);
+        ``N > 1`` fans out over ``N`` workers.
+    max_attempts:
+        Total waves allowed, i.e. the initial wave plus retries. A
+        sweep whose tasks are still missing after this many waves
+        raises :class:`SweepError`.
+    crash:
+        Test-only fault injection, applied to the first wave.
+    start_method:
+        ``multiprocessing`` start method override (default: ``fork``
+        where available, else ``spawn``).
+    """
+    ordered = sorted(tasks, key=lambda t: t.index)
+    if len({t.index for t in ordered}) != len(ordered):
+        raise ValueError("task indices must be unique")
+    sweep = SweepResult(
+        grid=grid, root_seed=root_seed, shards=shards, tasks=ordered
+    )
+
+    if shards <= 1:
+        sweep.results = [run_task(task) for task in ordered]
+        return sweep
+
+    ctx = _mp_context(start_method)
+    results: Dict[int, dict] = {}
+    attempt = 0
+    while True:
+        todo = [t for t in ordered if t.index not in results]
+        if not todo:
+            break
+        if attempt >= max_attempts:
+            raise SweepError(
+                f"{len(todo)} task(s) still unfinished after"
+                f" {max_attempts} attempts: indices"
+                f" {[t.index for t in todo]}"
+            )
+        wave_crash = crash if attempt == 0 else None
+        any_dead = _run_wave(ctx, todo, shards, wave_crash, results)
+        attempt += 1
+        if any_dead:
+            sweep.retries += 1
+
+    sweep.results = [results[t.index] for t in ordered]
+    return sweep

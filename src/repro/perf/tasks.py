@@ -1,0 +1,203 @@
+"""Sweep tasks: one fully self-contained experiment run each.
+
+A :class:`SweepTask` carries everything needed to reproduce one
+simulation (experiment name, seed, workload shape); :func:`run_task`
+executes it and returns a plain-dict *fingerprint* of the run — per
+update outcome tags, final replica values, and the network/kernel
+counters. The fingerprint is what the determinism suite compares
+byte-for-byte between sequential and sharded execution, so it must be:
+
+* **picklable** (it crosses a ``multiprocessing`` queue),
+* **canonically serialisable** (see :func:`canonical_json`),
+* **independent of host state** (no wall-clock times, no pids, no
+  memory addresses — simulation quantities only).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One cell of a sweep grid.
+
+    Attributes
+    ----------
+    index:
+        Position in the grid; results are merged in index order, which
+        is what makes the merged sweep output shard-count independent.
+    experiment:
+        ``"fig6"``, ``"table1"`` or ``"chaos"``.
+    seed:
+        The task's root seed (already derived from the sweep's root
+        seed — see :func:`repro.perf.grids.derive_seed`).
+    n_updates, n_items:
+        Workload shape, passed straight to the experiment.
+    scenario:
+        Chaos only: the named fault schedule to run.
+    check:
+        Additionally replay the workload under the protocol sanitizer
+        and include its violation/warning counts in the fingerprint.
+    """
+
+    index: int
+    experiment: str
+    seed: int
+    n_updates: int
+    n_items: int = 10
+    scenario: str = ""
+    check: bool = False
+
+
+def canonical_json(obj: Any) -> str:
+    """Serialise deterministically: sorted keys, no whitespace drift.
+
+    Two runs that produce equal Python values produce equal bytes —
+    ``repr``-exact floats included — so byte comparison of the output is
+    a valid determinism check.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def digest(obj: Any) -> str:
+    """SHA-256 hex digest of an object's canonical JSON form."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+def _update_tags(results) -> list:
+    """Per-update outcome tags, in completion order.
+
+    Encodes kind, outcome, locality, transfer count and (repr-exact)
+    finish time, so any protocol or timing divergence between two runs
+    flips the fingerprint.
+    """
+    return [
+        f"{r.kind.value}:{r.outcome.value}:{int(r.local_only)}"
+        f":{r.av_requests}:{r.finished_at!r}"
+        for r in results
+    ]
+
+
+def _sanitize(experiment: str, task: "SweepTask") -> Dict[str, int]:
+    """Replay the task's workload under the runtime sanitizer."""
+    from repro.analysis.check import run_check
+
+    run = run_check(
+        experiment=experiment,
+        n_updates=task.n_updates,
+        seed=task.seed,
+        n_items=task.n_items,
+    )
+    return {
+        "violations": len(run.report.violations),
+        "warnings": len(run.report.warnings),
+    }
+
+
+def _run_fig6_task(task: SweepTask) -> Dict[str, Any]:
+    from repro.experiments.fig6 import run_fig6
+
+    result = run_fig6(
+        n_updates=task.n_updates, seed=task.seed, n_items=task.n_items
+    )
+    payload: Dict[str, Any] = {
+        "reduction": result.reduction,
+        "local_ratio": result.local_ratio,
+        "update_tags": _update_tags(result.proposal.results),
+        "replicas": result.replicas,
+        "counters": {
+            "events_processed": result.events_processed,
+            "proposal_correspondences": (
+                result.proposal.final().total_correspondences
+            ),
+            "conventional_correspondences": (
+                result.conventional.final().total_correspondences
+            ),
+        },
+    }
+    return payload
+
+
+def _run_table1_task(task: SweepTask) -> Dict[str, Any]:
+    from repro.experiments.table1 import run_table1
+
+    result = run_table1(
+        n_updates=task.n_updates, seed=task.seed, n_items=task.n_items
+    )
+    final = result.proposal.final()
+    assurance = result.assurance()
+    payload: Dict[str, Any] = {
+        "update_tags": _update_tags(result.proposal.results),
+        "replicas": result.replicas,
+        "per_site": {s: final.per_site[s] for s in result.site_names},
+        "counters": {
+            "events_processed": result.events_processed,
+            "proposal_correspondences": final.total_correspondences,
+            "fairness": assurance.retailer_fairness,
+            "local_ratio": assurance.local_completion_ratio,
+        },
+    }
+    return payload
+
+
+def _run_chaos_task(task: SweepTask) -> Dict[str, Any]:
+    from repro.experiments.chaos import (
+        FULL_SCENARIOS,
+        run_chaos_scenario,
+    )
+
+    by_name = {s.name: s for s in FULL_SCENARIOS}
+    try:
+        scenario = by_name[task.scenario]
+    except KeyError:
+        raise ValueError(
+            f"unknown chaos scenario {task.scenario!r};"
+            f" choose from {sorted(by_name)}"
+        ) from None
+    result = run_chaos_scenario(
+        scenario, n_updates=task.n_updates, seed=task.seed,
+        n_items=task.n_items,
+    )
+    return {
+        "scenario": task.scenario,
+        "ok": result.ok,
+        "converged": result.converged,
+        "updates_issued": result.updates_issued,
+        "updates_completed": result.updates_completed,
+        "counters": {
+            "events_processed": result.events_processed,
+            "violations": len(result.report.violations),
+            "loss_warnings": len(result.loss_warnings),
+        },
+    }
+
+
+_RUNNERS = {
+    "fig6": _run_fig6_task,
+    "table1": _run_table1_task,
+    "chaos": _run_chaos_task,
+}
+
+
+def run_task(task: SweepTask) -> Dict[str, Any]:
+    """Execute one task and return its canonical result fingerprint.
+
+    Runs entirely inside the calling process; safe to call from any
+    worker because the simulation it builds is seeded only by the task.
+    """
+    try:
+        runner = _RUNNERS[task.experiment]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {task.experiment!r};"
+            f" choose from {sorted(_RUNNERS)}"
+        ) from None
+    payload = runner(task)
+    payload["task"] = asdict(task)
+    if task.check and task.experiment in ("fig6", "table1"):
+        payload["sanitizer"] = _sanitize(task.experiment, task)
+    return payload

@@ -5,6 +5,23 @@ ordered by ``(time, priority, sequence)`` — the sequence number makes the
 simulation fully deterministic: two runs with the same seed execute the same
 events in the same order and produce bit-identical traces.
 
+Two structures back the queue:
+
+* a binary heap for events scheduled into the future (``delay > 0``);
+* per-priority FIFO *buckets* for events scheduled at the current
+  timestamp (``delay == 0``) — the overwhelmingly common case (every
+  ``Event.succeed``, process resumption and zero-delay cascade), which
+  would otherwise churn the heap with O(log n) pushes and pops.
+
+Because the sequence number increases monotonically, appending a
+zero-delay event to its priority bucket preserves exactly the
+``(time, priority, sequence)`` order the heap would have produced:
+within one bucket FIFO order *is* sequence order, and :meth:`step`
+compares the candidate bucket head against the heap head by the full
+key before popping either. The fast path is therefore bit-identical to
+the pure-heap engine (property-tested in
+``tests/test_sim_engine_fastpath.py``).
+
 Example
 -------
 >>> from repro.sim import Environment
@@ -20,12 +37,12 @@ Example
 
 from __future__ import annotations
 
-import heapq
-from itertools import count
+from collections import deque
+from heapq import heappop, heappush
 from typing import Any, Iterable, Optional, Union
 
 from repro.sim.errors import EmptySchedule, StopSimulation
-from repro.sim.events import AllOf, AnyOf, Event, NORMAL, Timeout
+from repro.sim.events import AllOf, AnyOf, Event, LATE, NORMAL, URGENT, Timeout
 from repro.sim.process import Process, ProcessGenerator
 
 
@@ -41,7 +58,19 @@ class Environment:
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now: float = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
-        self._eid = count()
+        # Strictly-unique, strictly-increasing per-engine sequence number.
+        # Every scheduled event consumes one, so two queue keys can never
+        # compare equal and tuple comparison can never fall through to
+        # the Event objects (which define no ordering). Kept as a plain
+        # int (not itertools.count) so the invariant is explicit and the
+        # fast path can allocate inline.
+        self._eseq: int = 0
+        # Same-timestamp FIFO buckets, one per priority level, valid for
+        # time ``_bucket_time``. ``_bucket_count`` tracks total entries
+        # so emptiness checks stay O(1).
+        self._buckets: tuple[deque, deque, deque] = (deque(), deque(), deque())
+        self._bucket_time: float = self._now
+        self._bucket_count: int = 0
         self._active_process: Optional[Process] = None
         #: total number of events processed (diagnostic)
         self.events_processed: int = 0
@@ -62,10 +91,15 @@ class Environment:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        if self._bucket_count:
+            # Bucket entries live at the current timestamp, which never
+            # exceeds the heap minimum while buckets are non-empty.
+            return self._bucket_time
         return self._queue[0][0] if self._queue else float("inf")
 
     def __repr__(self) -> str:
-        return f"<Environment now={self._now} queued={len(self._queue)}>"
+        queued = len(self._queue) + self._bucket_count
+        return f"<Environment now={self._now} queued={queued}>"
 
     # ------------------------------------------------------------------ #
     # factories
@@ -101,11 +135,23 @@ class Environment:
         self, event: Event, priority: int = NORMAL, delay: float = 0.0
     ) -> None:
         """Queue ``event`` to be processed after ``delay`` time units."""
+        seq = self._eseq
+        self._eseq = seq + 1
+        if delay == 0.0 and URGENT <= priority <= LATE:
+            # Same-timestamp fast path: the new key (now, priority, seq)
+            # is strictly greater than every already-queued key with the
+            # same (now, priority), so a FIFO append preserves heap
+            # order. Rebase the buckets lazily — they are provably empty
+            # whenever the clock has advanced past them (step() drains a
+            # bucket before the clock can move).
+            if not self._bucket_count:
+                self._bucket_time = self._now
+            self._buckets[priority].append((seq, event))
+            self._bucket_count += 1
+            return
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._eid), event)
-        )
+        heappush(self._queue, (self._now + delay, priority, seq, event))
 
     def step(self) -> None:
         """Process the single next event.
@@ -115,10 +161,39 @@ class Environment:
         EmptySchedule
             If no events remain.
         """
-        try:
-            self._now, _, _, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule("no scheduled events") from None
+        event: Optional[Event] = None
+        queue = self._queue
+        if self._bucket_count:
+            buckets = self._buckets
+            if buckets[0]:
+                prio = 0
+            elif buckets[1]:
+                prio = 1
+            else:
+                prio = 2
+            bucket = buckets[prio]
+            btime = self._bucket_time
+            if queue:
+                # A heap entry can share the bucket timestamp (a timeout
+                # scheduled earlier that lands exactly now) — take
+                # whichever is smaller by the full (time, priority, seq)
+                # key so tie-breaking matches the pure-heap engine.
+                head = queue[0]
+                htime = head[0]
+                if htime < btime or (
+                    htime == btime
+                    and (head[1], head[2]) < (prio, bucket[0][0])
+                ):
+                    self._now, _, _, event = heappop(queue)
+            if event is None:
+                _, event = bucket.popleft()
+                self._bucket_count -= 1
+                self._now = btime
+        else:
+            try:
+                self._now, _, _, event = heappop(queue)
+            except IndexError:
+                raise EmptySchedule("no scheduled events") from None
 
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:  # pragma: no cover - double-schedule guard
@@ -167,7 +242,7 @@ class Environment:
                     )
 
         try:
-            while self._queue:
+            while self._queue or self._bucket_count:
                 if stop_at is not None and self.peek() > stop_at:
                     break
                 self.step()

@@ -1,0 +1,158 @@
+"""Determinism and fault-tolerance tests for the sharded sweep runner.
+
+The contract under test: a sweep's merged output is a pure function of
+``(grid, root_seed)`` — byte-identical across shard counts, scheduling
+orders, and worker crashes. ``canonical()`` (sorted-keys JSON of the
+ordered results) is the comparison surface, so "equal" here really is
+*byte*-equal, repr-exact floats included.
+"""
+
+import pytest
+
+from repro.perf import (
+    ShardCrash,
+    SweepError,
+    build_grid,
+    derive_seed,
+    partition_tasks,
+    run_sweep,
+)
+
+ROOT_SEEDS = (0, 7, 20260806)
+
+
+def _sweep(grid, root_seed, shards, **kwargs):
+    tasks = build_grid(grid, root_seed=root_seed)
+    return run_sweep(
+        tasks, shards=shards, grid=grid, root_seed=root_seed, **kwargs
+    )
+
+
+# --------------------------------------------------------------------- #
+# sharded == sequential, byte for byte
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("grid", ["fig6-small", "table1-small"])
+@pytest.mark.parametrize("root_seed", ROOT_SEEDS)
+def test_sharded_byte_identical_to_sequential(grid, root_seed):
+    sequential = _sweep(grid, root_seed, shards=1)
+    sharded = _sweep(grid, root_seed, shards=2)
+    assert sequential.canonical() == sharded.canonical()
+    assert sequential.digest() == sharded.digest()
+    # The fingerprints carry real payload, not vacuous equality.
+    assert sequential.events_processed > 0
+    assert all(r["update_tags"] for r in sequential.results)
+
+
+def test_shard_count_never_changes_output():
+    """1..4 shards on a 3-task grid covers shards < tasks, == and >."""
+    digests = {
+        _sweep("fig6-small", 3, shards=n).digest() for n in (1, 2, 3, 4)
+    }
+    assert len(digests) == 1
+
+
+def test_chaos_grid_sharded_matches_sequential():
+    sequential = _sweep("chaos-small", 0, shards=1)
+    sharded = _sweep("chaos-small", 0, shards=3)
+    assert sequential.canonical() == sharded.canonical()
+    assert all(r["ok"] for r in sequential.results)
+
+
+def test_different_root_seeds_differ():
+    """The root seed genuinely reaches the workloads."""
+    assert (
+        _sweep("fig6-small", 0, shards=1).digest()
+        != _sweep("fig6-small", 1, shards=1).digest()
+    )
+
+
+# --------------------------------------------------------------------- #
+# worker crashes
+# --------------------------------------------------------------------- #
+
+
+def test_worker_crash_retries_and_output_unchanged():
+    """Kill a shard mid-sweep: the retry wave recomputes the lost tasks
+    and the merged output is still byte-identical."""
+    reference = _sweep("fig6-small", 1, shards=1)
+    crashed = _sweep(
+        "fig6-small", 1, shards=2,
+        crash=ShardCrash(shard=0, after=1),  # dies with work undelivered
+    )
+    assert crashed.retries >= 1  # the crash demonstrably fired
+    assert crashed.canonical() == reference.canonical()
+
+
+def test_worker_crash_before_any_result():
+    """A shard that dies instantly loses *all* its tasks — still fine."""
+    reference = _sweep("table1-small", 2, shards=1)
+    crashed = _sweep(
+        "table1-small", 2, shards=2, crash=ShardCrash(shard=1, after=0)
+    )
+    assert crashed.retries >= 1
+    assert crashed.canonical() == reference.canonical()
+
+
+def test_sweep_error_when_tasks_never_finish():
+    """With retries exhausted the runner fails loudly, not silently."""
+    tasks = build_grid("fig6-small", root_seed=0)
+    with pytest.raises(SweepError):
+        run_sweep(
+            tasks, shards=2, max_attempts=1,
+            crash=ShardCrash(shard=0, after=0),
+        )
+
+
+def test_sanitizer_clean_under_sharded_optimized_kernel():
+    """check=True replays tasks under the protocol sanitizer inside the
+    workers: the optimized kernel must produce zero violations."""
+    tasks = build_grid("fig6-small", root_seed=0, replicates=2, check=True)
+    sweep = run_sweep(tasks, shards=2, grid="fig6-small", root_seed=0)
+    assert len(sweep.results) == 2
+    for result in sweep.results:
+        assert result["sanitizer"]["violations"] == 0
+
+
+# --------------------------------------------------------------------- #
+# partitioning & seed derivation
+# --------------------------------------------------------------------- #
+
+
+def test_partition_round_robin_covers_everything_once():
+    tasks = build_grid("fig6-small", root_seed=0, replicates=7)
+    chunks = partition_tasks(tasks, 3)
+    assert [t.index for t in chunks[0]] == [0, 3, 6]
+    assert [t.index for t in chunks[1]] == [1, 4]
+    assert [t.index for t in chunks[2]] == [2, 5]
+    flat = sorted(t.index for chunk in chunks for t in chunk)
+    assert flat == list(range(7))
+
+
+def test_partition_rejects_bad_shard_count():
+    with pytest.raises(ValueError):
+        partition_tasks([], 0)
+
+
+def test_derive_seed_stable_and_decorrelated():
+    assert derive_seed(0, "fig6", 0) == derive_seed(0, "fig6", 0)
+    seeds = {derive_seed(0, "fig6", i) for i in range(16)}
+    assert len(seeds) == 16
+    assert derive_seed(0, "fig6", 0) != derive_seed(0, "table1", 0)
+    assert derive_seed(0, "fig6", 0) != derive_seed(1, "fig6", 0)
+
+
+def test_grid_replicate_seeds_independent_of_replicate_count():
+    """Growing a grid never perturbs its existing cells."""
+    small = build_grid("fig6-small", root_seed=5, replicates=2)
+    large = build_grid("fig6-small", root_seed=5, replicates=6)
+    assert [t.seed for t in large[:2]] == [t.seed for t in small]
+
+
+def test_canonical_excludes_runner_diagnostics():
+    """shards/retries describe *how* the sweep ran; they must not leak
+    into the determinism surface."""
+    sweep = _sweep("fig6-small", 0, shards=1)
+    sweep.shards, sweep.retries = 99, 42
+    assert sweep.canonical() == _sweep("fig6-small", 0, shards=1).canonical()
