@@ -133,6 +133,32 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.testkit.fuzzer import _parse_budget, replay_artifact, run_fuzz
+
+    if args.replay:
+        reproduced, text = replay_artifact(args.replay)
+        print(text)
+        return 0 if reproduced else 1
+
+    budget = _parse_budget(args.budget)
+    if budget is None and args.cases is None:
+        budget = 10.0
+    report = run_fuzz(
+        root_seed=args.seed,
+        budget_s=budget,
+        max_cases=args.cases,
+        shards=args.shards,
+        n_ops=args.ops,
+        inject=args.inject,
+        artifact_dir=args.artifact_dir,
+        do_shrink=not args.no_shrink,
+        log=print,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_latency(args: argparse.Namespace) -> int:
     from repro.experiments import LATENCY_HEADERS, run_latency_experiment
     from repro.metrics.report import text_table
@@ -378,6 +404,48 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("latency", help="latency comparison")
     common(p)
     p.set_defaults(fn=_cmd_latency)
+
+    p = sub.add_parser(
+        "fuzz",
+        help=(
+            "schedule-space fuzzing: perturbed deterministic runs under"
+            " the sanitizer + end-state oracles, with automatic"
+            " counterexample shrinking (see repro.testkit)"
+        ),
+    )
+    p.add_argument("--seed", type=int, default=0, help="campaign root seed")
+    p.add_argument(
+        "--budget", default=None, metavar="TIME",
+        help="wall-clock budget, e.g. 10s / 2m (default 10s)",
+    )
+    p.add_argument(
+        "--cases", type=int, default=None,
+        help="stop after N cases instead of (or as well as) --budget",
+    )
+    p.add_argument(
+        "--shards", type=int, default=1,
+        help="fan case batches across N worker processes",
+    )
+    p.add_argument(
+        "--ops", type=int, default=36, help="workload ops per case"
+    )
+    p.add_argument(
+        "--inject", default="", choices=["", "av-double-grant"],
+        help="TEST-ONLY: plant a known protocol bug to validate oracles",
+    )
+    p.add_argument(
+        "--artifact-dir", default="fuzz-artifacts", metavar="DIR",
+        help="where shrunk repro artifacts are written",
+    )
+    p.add_argument(
+        "--no-shrink", action="store_true",
+        help="report the first violating case without minimising it",
+    )
+    p.add_argument(
+        "--replay", default=None, metavar="ARTIFACT",
+        help="replay a repro artifact and verify byte-identity",
+    )
+    p.set_defaults(fn=_cmd_fuzz)
 
     p = sub.add_parser(
         "sweep",

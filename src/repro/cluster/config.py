@@ -75,10 +75,25 @@ class SystemConfig:
     #: behaviour; a ReliabilityParams turns on reliable propagation,
     #: AV grant leases, and rejoin-gated recovery at every site
     reliability: Optional[ReliabilityParams] = None
+    #: TEST-ONLY: name of a deliberately broken protocol variant, used
+    #: by the fuzz harness to validate that its oracles actually catch
+    #: planted bugs. ``"av-double-grant"`` makes every grantor ship AV
+    #: without deducting it from its own table (the volume then exists
+    #: twice). Empty string = correct protocol. Never set in
+    #: experiments; see repro.testkit.
+    inject: str = ""
+
+    #: names the fuzz harness accepts for ``inject``
+    KNOWN_INJECTIONS = ("av-double-grant",)
 
     def __post_init__(self) -> None:
         if self.n_retailers < 1:
             raise ValueError("need at least one retailer")
+        if self.inject and self.inject not in self.KNOWN_INJECTIONS:
+            raise ValueError(
+                f"unknown injection {self.inject!r};"
+                f" choose from {self.KNOWN_INJECTIONS}"
+            )
         if not 0.0 <= self.av_fraction <= 1.0:
             raise ValueError(f"av_fraction {self.av_fraction} not in [0, 1]")
         if self.latency_mean < 0:

@@ -137,6 +137,7 @@ class DistributedSystem:
                 max_immediate_retries=config.max_immediate_retries,
                 allow_transfers=config.allow_transfers,
                 reliability=config.reliability,
+                inject=config.inject,
             )
             role = SiteRole.MAKER if name == config.maker else SiteRole.RETAILER
             sites[name] = Site(endpoint, store, accel, role, collector)

@@ -92,6 +92,7 @@ class Accelerator:
         max_immediate_retries: int = 10,
         allow_transfers: bool = True,
         reliability: Optional[ReliabilityParams] = None,
+        inject: str = "",
     ) -> None:
         self.endpoint = endpoint
         self.env = endpoint.env
@@ -120,6 +121,9 @@ class Accelerator:
         self.max_immediate_retries = max_immediate_retries
         #: False = static escrow: never request AV from peers (ablation D)
         self.allow_transfers = allow_transfers
+        #: TEST-ONLY planted-bug selector (see SystemConfig.inject);
+        #: empty string = correct protocol
+        self.inject = inject
 
         self.reliability = reliability
         if reliability is not None:

@@ -290,7 +290,12 @@ class DelayUpdateProtocol:
         granted = accel.policy.grant_amount(available, requested)
         decide_span.finish(accel.now, granted=granted)
         if granted > 0:
-            accel.av_table.take(item, granted)
+            if accel.inject != "av-double-grant":
+                # Planted bug (test-only, see SystemConfig.inject): the
+                # broken variant ships the grant *without* deducting it,
+                # so the same volume exists at both sites — the exact
+                # double-count the AV-conservation oracle must catch.
+                accel.av_table.take(item, granted)
             self.grants_served += 1
             self.volume_granted += granted
         after = accel.av_table.get(item)

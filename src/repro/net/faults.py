@@ -22,6 +22,7 @@ crasher generators.
 
 from __future__ import annotations
 
+import copy as _copy
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
@@ -281,6 +282,49 @@ class FaultSchedule:
         """Steps in application order (time, then insertion order)."""
         return sorted(self._steps, key=lambda s: s.time)
 
+    def copy(self) -> "FaultSchedule":
+        """An independent deep copy (mutation-safe for fuzzing).
+
+        The fuzzer mutates schedules between runs; sharing step storage
+        across tasks would let one task's mutation silently rewrite
+        another task's scenario.
+        """
+        clone = FaultSchedule()
+        clone._steps = _copy.deepcopy(self._steps)
+        return clone
+
+    def to_specs(self) -> list:
+        """Plain-data form ``[[time, action, [args...]], ...]``.
+
+        JSON-serialisable (tuples become lists); :meth:`from_specs`
+        round-trips it. Steps are listed in application order.
+        """
+
+        def plain(value):
+            if isinstance(value, tuple):
+                return [plain(v) for v in value]
+            return value
+
+        return [[s.time, s.action, plain(list(s.args))] for s in self.steps]
+
+    @classmethod
+    def from_specs(cls, specs: Iterable) -> "FaultSchedule":
+        """Rebuild a schedule written by :meth:`to_specs`.
+
+        Nested lists (partition groups) are re-frozen to tuples so the
+        rebuilt steps compare equal to the originals.
+        """
+
+        def frozen(value):
+            if isinstance(value, list):
+                return tuple(frozen(v) for v in value)
+            return value
+
+        schedule = cls()
+        for time, action, args in specs:
+            schedule._add(float(time), str(action), *[frozen(a) for a in args])
+        return schedule
+
     @property
     def last_time(self) -> float:
         """Time of the final step (0.0 for an empty schedule)."""
@@ -302,8 +346,12 @@ class FaultSchedule:
         ``on_recover(site)`` replaces the plain ``faults.recover`` for
         recover steps (it is then responsible for clearing the crash
         flag — :meth:`repro.cluster.site.Site.restart` does).
+
+        The step list is deep-copied at install time: mutating the
+        builder afterwards (the fuzzer does, between runs) cannot alias
+        the schedule a running simulation already executes.
         """
-        steps = self.steps
+        steps = _copy.deepcopy(self.steps)
 
         def runner():
             for step in steps:

@@ -50,6 +50,14 @@ class Network:
         Enforce per-directed-pair in-order delivery (default ``True``).
     faults:
         Fault injector; a benign one is created if omitted.
+    perturb:
+        Optional delivery perturbation hook for schedule-space fuzzing
+        (see :mod:`repro.testkit`): called as ``perturb(msg, delay) ->
+        delay`` on every non-dropped send, *before* the per-pair FIFO
+        clamp — so jittered latencies reorder deliveries across pairs
+        but can never violate the per-channel ordering the reliable
+        session and lease probes depend on. Must be deterministic given
+        its own seed.
     """
 
     def __init__(
@@ -61,6 +69,7 @@ class Network:
         fifo: bool = True,
         faults: Optional[FaultInjector] = None,
         size_model=None,
+        perturb=None,
     ) -> None:
         self.env = env
         self.latency = latency if latency is not None else ConstantLatency(1.0)
@@ -74,6 +83,7 @@ class Network:
         self.stats = NetworkStats()
         self.channels = ChannelTable(fifo=fifo)
         self.faults = faults if faults is not None else FaultInjector(rng=self.rng)
+        self.perturb = perturb
         #: optional repro.net.sizes.SizeModel enabling byte accounting
         self.size_model = size_model
         self._endpoints: dict[str, "Endpoint"] = {}
@@ -155,6 +165,10 @@ class Network:
             return
 
         delay = self.latency.sample(msg.src, msg.dst, self.rng)
+        if self.perturb is not None:
+            delay = self.perturb(msg, delay)
+            if delay < 0:
+                raise ValueError(f"perturbation produced negative delay {delay}")
         when = self.channels.get(msg.src, msg.dst).delivery_time(self.env.now, delay)
 
         delivery = Event(self.env)

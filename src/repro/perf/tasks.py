@@ -176,10 +176,24 @@ def _run_chaos_task(task: SweepTask) -> Dict[str, Any]:
     }
 
 
+def _run_fuzz_task(task: SweepTask) -> Dict[str, Any]:
+    # The case is a pure function of (campaign root seed, case index):
+    # workers regenerate it locally, so only coordinates cross the
+    # process boundary and the merged sweep stays shard-invariant.
+    from repro.testkit.runner import run_case
+    from repro.testkit.schedule import make_case
+
+    case = make_case(
+        task.seed, task.index, n_ops=task.n_updates, inject=task.scenario
+    )
+    return run_case(case).payload()
+
+
 _RUNNERS = {
     "fig6": _run_fig6_task,
     "table1": _run_table1_task,
     "chaos": _run_chaos_task,
+    "fuzz": _run_fuzz_task,
 }
 
 

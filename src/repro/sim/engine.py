@@ -72,6 +72,16 @@ class Environment:
         self._bucket_time: float = self._now
         self._bucket_count: int = 0
         self._active_process: Optional[Process] = None
+        #: Optional scheduling perturbation hook for schedule-space
+        #: fuzzing (see :mod:`repro.testkit`). Called as
+        #: ``perturb(event, priority, delay) -> delay`` for every event
+        #: scheduled with ``delay > 0`` and must return a nonnegative
+        #: replacement delay. Zero-delay events (succeed cascades,
+        #: process resumptions) are deliberately exempt: their same-step
+        #: ordering is a correctness assumption of the protocols, not a
+        #: schedule choice. The hook must be deterministic given its own
+        #: seed or replays will not be byte-identical.
+        self.perturb = None
         #: total number of events processed (diagnostic)
         self.events_processed: int = 0
 
@@ -151,6 +161,11 @@ class Environment:
             return
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
+        perturb = self.perturb
+        if perturb is not None:
+            delay = perturb(event, priority, delay)
+            if delay < 0:
+                raise ValueError(f"perturbation produced negative delay {delay}")
         heappush(self._queue, (self._now + delay, priority, seq, event))
 
     def step(self) -> None:

@@ -1,0 +1,88 @@
+"""Schedule-space perturbation: seeded jitter behind the kernel hooks.
+
+The simulator exposes two perturbation points (added for this testkit):
+
+* :attr:`repro.net.network.Network.perturb` — called per message with
+  the sampled latency, *before* the per-pair FIFO clamp. Jitter here
+  reorders deliveries **across** site pairs while each directed pair
+  stays FIFO — the ordering guarantee reliable sessions and lease
+  probes rely on for definitive answers is preserved by construction.
+* :attr:`repro.sim.engine.Environment.perturb` — called per scheduled
+  event with ``delay > 0``. :class:`Perturbation` only jitters
+  :class:`~repro.sim.events.Timeout` instances (timers: retransmit
+  backoff, lease expiry, sync intervals, arrival spacing), leaving
+  network-delivery events to the latency hook and zero-delay events
+  (same-step ordering is a protocol correctness assumption) untouched.
+
+Both streams are derived from one ``perturb_seed`` via SeedSequence
+spawning, and draws happen in schedule order — so a perturbation vector
+is exactly as deterministic as the simulation it perturbs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.events import Timeout
+
+
+class Perturbation:
+    """Multiplicative jitter ``delay * (1 + amp * U[-1, 1])``.
+
+    ``amp`` in ``[0, 1)`` keeps every perturbed delay strictly positive,
+    so causal order (send before receive, timer set before fire) is
+    never inverted — the fuzzer explores interleavings, not
+    impossibilities.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        latency_amp: float = 0.0,
+        timer_amp: float = 0.0,
+    ) -> None:
+        if not 0.0 <= latency_amp < 1.0:
+            raise ValueError(f"latency_amp {latency_amp} not in [0, 1)")
+        if not 0.0 <= timer_amp < 1.0:
+            raise ValueError(f"timer_amp {timer_amp} not in [0, 1)")
+        self.seed = int(seed)
+        self.latency_amp = float(latency_amp)
+        self.timer_amp = float(timer_amp)
+        # Perturbation streams deliberately live OUTSIDE the system's
+        # RngRegistry: they are seeded by the fuzz case, not the system
+        # seed, so the same system can be explored under many schedules.
+        latency_seq, timer_seq = np.random.SeedSequence(self.seed).spawn(2)
+        self._latency_rng = np.random.default_rng(latency_seq)  # repro-lint: disable=seeded-rng (case-seeded, external to the system under test)
+        self._timer_rng = np.random.default_rng(timer_seq)  # repro-lint: disable=seeded-rng (case-seeded, external to the system under test)
+
+    # ------------------------------------------------------------- #
+    # hook adapters
+    # ------------------------------------------------------------- #
+
+    def latency(self, msg, delay: float) -> float:
+        """``Network.perturb`` adapter: jitter one message's latency."""
+        if self.latency_amp <= 0.0 or delay <= 0.0:
+            return delay
+        swing = 2.0 * float(self._latency_rng.random()) - 1.0
+        return delay * (1.0 + self.latency_amp * swing)
+
+    def timer(self, event, priority: int, delay: float) -> float:
+        """``Environment.perturb`` adapter: jitter one timer's delay."""
+        if self.timer_amp <= 0.0 or delay <= 0.0:
+            return delay
+        if not isinstance(event, Timeout):
+            return delay
+        swing = 2.0 * float(self._timer_rng.random()) - 1.0
+        return delay * (1.0 + self.timer_amp * swing)
+
+    def install(self, system) -> "Perturbation":
+        """Attach both adapters to a built system; returns self."""
+        system.network.perturb = self.latency
+        system.env.perturb = self.timer
+        return self
+
+    def __repr__(self) -> str:
+        return (
+            f"<Perturbation seed={self.seed}"
+            f" latency±{self.latency_amp:g} timer±{self.timer_amp:g}>"
+        )

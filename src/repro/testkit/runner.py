@@ -1,0 +1,228 @@
+"""Execute one fuzz case to quiescence and judge the end state.
+
+The run shape is the chaos harness's three phases — drive the workload
+through the fault window, heal the world, settle/drain/sync to a
+fixpoint — with the case's perturbation vector installed in the kernel
+hooks before the first event fires. The outcome bundles the sanitizer
+report, the end-state oracle findings, and the determinism surface
+(update tags, replicas, counters) whose canonical digest is what
+``--replay`` compares byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.analysis.invariants import Violation
+from repro.cluster import DistributedSystem, paper_config
+from repro.core.sync import SyncScheduler
+from repro.net.reliable import ReliabilityParams
+from repro.perf.tasks import canonical_json, digest
+from repro.testkit.oracles import end_state_findings
+from repro.testkit.perturb import Perturbation
+from repro.testkit.schedule import FuzzCase
+from repro.workload.driver import run_open, split_by_site
+from repro.workload.generators import WorkloadEvent
+
+#: sanitizer warnings that count as findings when the robustness layer
+#: is on (same set the chaos harness fails on)
+LOSS_RULES = ("av.grant-lost", "av.push-lost", "net.in-flight", "lease.unresolved")
+
+
+@dataclass
+class CaseOutcome:
+    """Everything one executed case produced."""
+
+    case: FuzzCase
+    #: sanitizer violations + oracle findings (+ loss warnings when the
+    #: robustness layer is on) — any entry means the case failed
+    findings: List[Violation]
+    #: tolerated sanitizer warnings not promoted to findings
+    warnings: int
+    counters: Dict[str, int] = field(default_factory=dict)
+    update_tags: List[str] = field(default_factory=list)
+    replicas: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    @property
+    def fingerprint(self) -> List[tuple]:
+        """Sorted unique ``(rule, item)`` pairs over all findings.
+
+        Conservation fires on *every* failing check and its details
+        carry times and amounts, so raw findings are neither
+        deduplicated nor stable under shrinking — this projection is
+        both, which is what makes it a valid shrink-preservation and
+        replay-identity target.
+        """
+        return sorted({(v.rule, v.item or "") for v in self.findings})
+
+    @property
+    def rules(self) -> List[str]:
+        """Sorted unique finding rules — the *bug class* signature.
+
+        This is the shrink-preservation target: a minimal case must
+        exhibit the same kinds of violation, but may do so on fewer
+        items than the original (shrinking away ops naturally narrows
+        the blast radius without changing what went wrong).
+        """
+        return sorted({v.rule for v in self.findings})
+
+    def canonical(self) -> str:
+        """Canonical JSON of the full determinism surface."""
+        return canonical_json({
+            "case": self.case.to_dict(),
+            "fingerprint": [list(pair) for pair in self.fingerprint],
+            "findings": [
+                [v.rule, v.item, v.site, v.time, v.detail]
+                for v in self.findings
+            ],
+            "warnings": self.warnings,
+            "update_tags": self.update_tags,
+            "replicas": self.replicas,
+            "counters": self.counters,
+        })
+
+    def digest(self) -> str:
+        return digest(self.canonical())
+
+    def payload(self) -> Dict[str, Any]:
+        """Sweep-task fingerprint: picklable, canonically serialisable."""
+        return {
+            "ok": self.ok,
+            "fingerprint": [list(pair) for pair in self.fingerprint],
+            "digest": self.digest(),
+            "findings": [v.render() for v in self.findings],
+            "update_tags": self.update_tags,
+            "replicas": self.replicas,
+            "counters": self.counters,
+            "case": self.case.to_dict(),
+        }
+
+    def render(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        lines = [
+            f"fuzz case: {status}"
+            f" ({len(self.case.ops)} ops, {len(self.case.faults)} faults,"
+            f" latency±{self.case.latency_amp:g}"
+            f" timer±{self.case.timer_amp:g},"
+            f" {len(self.findings)} findings)",
+        ]
+        lines += ["  " + v.render() for v in self.findings]
+        return "\n".join(lines)
+
+
+def _validate(case: FuzzCase, config) -> None:
+    sites = set(config.site_names)
+    for site, item, _delta in case.ops:
+        if site not in sites:
+            raise ValueError(f"op references unknown site {site!r}")
+
+
+def run_case(case: FuzzCase) -> CaseOutcome:
+    """Run one case end to end; pure function of the case."""
+    config = paper_config(
+        n_items=case.n_items,
+        n_retailers=case.n_retailers,
+        initial_stock=case.initial_stock,
+        seed=case.seed,
+        request_timeout=8.0,
+        observe=True,
+        sanitize=True,
+        reliability=ReliabilityParams() if case.reliability else None,
+        inject=case.inject,
+    )
+    _validate(case, config)
+    system = DistributedSystem.build(config)
+    Perturbation(
+        case.perturb_seed, case.latency_amp, case.timer_amp
+    ).install(system)
+
+    events = [WorkloadEvent(site, item, delta) for site, item, delta in case.ops]
+    per_site = split_by_site(events)
+
+    schedulers = [
+        SyncScheduler(
+            system.sites[name].accelerator, interval=case.sync_interval
+        )
+        for name in sorted(system.sites)
+    ]
+    for scheduler in schedulers:
+        scheduler.start()
+
+    faults = system.network.faults
+
+    def on_recover(name: str) -> None:
+        # The shrinker may orphan a recover step from its crash —
+        # restarting a site that never went down must be a no-op.
+        if faults.is_crashed(name):
+            system.sites[name].restart()
+
+    case.fault_schedule().install(system.env, faults, on_recover=on_recover)
+
+    # Phase 1: drive the workload through the fault window.
+    results = run_open(
+        system, per_site, interarrival=case.interarrival, until=case.horizon
+    )
+
+    # Phase 2: heal the world — convergence is only promised for fault
+    # windows that end.
+    faults.heal()
+    faults.clear_link_faults()
+    faults.set_drop_probability(0.0)
+    for name in sorted(system.sites):
+        if faults.is_crashed(name):
+            system.sites[name].restart()
+
+    # Phase 3: settle, drain, and flush sync backlogs to a fixpoint.
+    system.run(until=system.env.now + case.settle)
+    for scheduler in schedulers:
+        scheduler.stop()
+    system.run()
+    while True:
+        for name in sorted(system.sites):
+            system.sites[name].accelerator.sync_all()
+        system.run()
+        if not any(
+            system.sites[name].accelerator.unsynced_items()
+            for name in sorted(system.sites)
+        ):
+            break
+
+    report = system.sanitizer.finish()
+    oracle_findings = end_state_findings(
+        system, results, strict=case.reliability
+    )
+    findings = list(report.violations) + oracle_findings
+    if case.reliability:
+        findings += [w for w in report.warnings if w.rule in LOSS_RULES]
+
+    counters = dict(report.counters)
+    counters["events_processed"] = system.env.events_processed
+    counters["updates_issued"] = len(events)
+    counters["updates_completed"] = len(results)
+    counters["oracle_findings"] = len(oracle_findings)
+
+    item_ids = sorted(system.collector.ledger.items())
+    replicas = {
+        name: {
+            item: system.sites[name].store.value(item) for item in item_ids
+        }
+        for name in sorted(system.sites)
+    }
+    from repro.perf.tasks import _update_tags
+
+    return CaseOutcome(
+        case=case,
+        findings=findings,
+        warnings=len(report.warnings) - (
+            len([w for w in report.warnings if w.rule in LOSS_RULES])
+            if case.reliability else 0
+        ),
+        counters=counters,
+        update_tags=_update_tags(results),
+        replicas=replicas,
+    )

@@ -1,0 +1,156 @@
+"""Counterexample shrinking: delta-debugging over the failing case.
+
+Given a violating :class:`~repro.testkit.schedule.FuzzCase`, the
+shrinker searches for the smallest case exhibiting the *same bug
+class*: the sorted set of finding **rules** (``av.conservation``,
+``oracle.convergence``, …). Rules are the right preservation target —
+raw finding lists carry times and amounts that move as the schedule
+shrinks, and the per-item fingerprint would force the minimal case to
+keep one op per originally-affected item even though every item
+exhibits the same bug. Three reduction passes, repeated to a fixpoint:
+
+1. **ddmin over the fault schedule** (faults first: fewer faults means
+   faster candidate runs for everything after),
+2. **ddmin over the op trace**,
+3. **scalar simplification** of the perturbation vector (zero the
+   latency/timer amplitudes, zero the perturbation seed) — each change
+   kept only if the fingerprint survives.
+
+Every candidate execution is memoised on the (hashable, frozen) case,
+and the whole search is bounded by ``max_runs`` — on exhaustion the
+best case found so far is returned, which is still a valid repro.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.testkit.runner import run_case
+from repro.testkit.schedule import FuzzCase, _freeze
+
+
+@dataclass
+class ShrinkResult:
+    """A minimised counterexample plus search statistics."""
+
+    case: FuzzCase
+    #: the preserved bug class (sorted unique finding rules)
+    rules: List[str]
+    runs: int
+    ops_before: int
+    ops_after: int
+    faults_before: int
+    faults_after: int
+
+    def render(self) -> str:
+        return (
+            f"shrunk {self.ops_before} -> {self.ops_after} ops,"
+            f" {self.faults_before} -> {self.faults_after} faults"
+            f" in {self.runs} runs; preserved rules {self.rules}"
+        )
+
+
+def _ddmin(items: list, rebuild: Callable, failing: Callable) -> list:
+    """Classic ddmin: greedily drop complement chunks while still failing."""
+    if items and failing(rebuild([])):
+        return []
+    n = 2
+    while len(items) >= 2:
+        size = max(1, (len(items) + n - 1) // n)
+        chunks = [items[i:i + size] for i in range(0, len(items), size)]
+        reduced = False
+        for drop_index in range(len(chunks)):
+            candidate = [
+                element
+                for index, chunk in enumerate(chunks)
+                if index != drop_index
+                for element in chunk
+            ]
+            if candidate != items and failing(rebuild(candidate)):
+                items = candidate
+                n = max(n - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if n >= len(items):
+                break
+            n = min(len(items), 2 * n)
+    return items
+
+
+def shrink_case(
+    case: FuzzCase,
+    fingerprint: Optional[List[tuple]] = None,
+    max_runs: int = 400,
+    run: Callable = run_case,
+) -> ShrinkResult:
+    """Minimise ``case`` while preserving its bug class.
+
+    ``fingerprint`` is the ``(rule, item)`` fingerprint the campaign
+    observed; it is projected onto its rule set, which is what every
+    candidate must reproduce exactly. Omitted, the unshrunk case is run
+    once to obtain it.
+    """
+    if fingerprint is None:
+        outcome = run(case)
+        fingerprint = outcome.fingerprint
+        if not fingerprint:
+            raise ValueError("cannot shrink a passing case")
+    target = sorted({pair[0] for pair in fingerprint})
+
+    cache = {}
+    budget = [max_runs]
+
+    def failing(candidate: FuzzCase) -> bool:
+        hit = cache.get(candidate)
+        if hit is not None:
+            return hit
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        preserved = run(candidate).rules == target
+        cache[candidate] = preserved
+        return preserved
+
+    ops_before = len(case.ops)
+    faults_before = len(case.faults)
+    current = case
+
+    while True:
+        previous = current
+
+        faults = _ddmin(
+            list(current.faults),
+            lambda specs: current.with_(faults=_freeze(specs)),
+            failing,
+        )
+        current = current.with_(faults=_freeze(faults))
+
+        ops = _ddmin(
+            list(current.ops),
+            lambda selected: current.with_(ops=tuple(selected)),
+            failing,
+        )
+        current = current.with_(ops=tuple(ops))
+
+        for simplified in (
+            current.with_(latency_amp=0.0),
+            current.with_(timer_amp=0.0),
+            current.with_(perturb_seed=0),
+        ):
+            if simplified != current and failing(simplified):
+                current = simplified
+
+        if current == previous or budget[0] <= 0:
+            break
+
+    return ShrinkResult(
+        case=current,
+        rules=target,
+        runs=max_runs - budget[0],
+        ops_before=ops_before,
+        ops_after=len(current.ops),
+        faults_before=faults_before,
+        faults_after=len(current.faults),
+    )

@@ -26,6 +26,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "bogus"])
 
+    def test_fuzz_defaults_and_injection_choices(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.budget is None and args.cases is None
+        assert args.shards == 1 and args.inject == ""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--inject", "bogus-bug"])
+
 
 class TestExecution:
     def test_fig6_runs(self, capsys):
@@ -50,6 +57,27 @@ class TestExecution:
         with pytest.raises(SystemExit) as exc:
             main(["--version"])
         assert exc.value.code == 0
+
+    def test_fuzz_clean_campaign_exits_zero(self, capsys, tmp_path):
+        code = main([
+            "fuzz", "--cases", "4", "--ops", "24",
+            "--artifact-dir", str(tmp_path),
+        ])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_fuzz_injected_bug_shrinks_and_replays(self, capsys, tmp_path):
+        code = main([
+            "fuzz", "--cases", "8", "--inject", "av-double-grant",
+            "--artifact-dir", str(tmp_path),
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "VIOLATION" in out and "shrunk" in out
+        artifacts = list(tmp_path.glob("repro-*.json"))
+        assert len(artifacts) == 1
+        assert main(["fuzz", "--replay", str(artifacts[0])]) == 0
+        assert "REPRODUCED" in capsys.readouterr().out
 
 
 class TestFiguresCommand:

@@ -1,0 +1,112 @@
+"""Shrinker: ddmin mechanics plus the planted-bug acceptance loop."""
+
+import json
+
+import pytest
+
+from repro.testkit import make_case, run_case, run_fuzz, shrink_case
+from repro.testkit.fuzzer import replay_artifact
+from repro.testkit.shrink import _ddmin
+
+
+# ---------------------------------------------------------------------- #
+# ddmin mechanics
+# ---------------------------------------------------------------------- #
+
+def test_ddmin_finds_minimal_pair():
+    # Failure requires both 3 and 7; everything else is noise.
+    def failing(candidate):
+        return 3 in candidate and 7 in candidate
+
+    result = _ddmin(list(range(10)), lambda items: items, failing)
+    assert sorted(result) == [3, 7]
+
+
+def test_ddmin_empty_when_failure_is_unconditional():
+    assert _ddmin([1, 2, 3], lambda items: items, lambda _c: True) == []
+
+
+def test_ddmin_keeps_everything_when_all_needed():
+    def failing(candidate):
+        return len(candidate) == 4
+
+    assert _ddmin([1, 2, 3, 4], lambda items: items, failing) == [1, 2, 3, 4]
+
+
+def test_shrink_rejects_passing_case():
+    with pytest.raises(ValueError, match="passing"):
+        shrink_case(make_case(0, 1))
+
+
+# ---------------------------------------------------------------------- #
+# the acceptance loop: plant, find, shrink, replay
+# ---------------------------------------------------------------------- #
+
+def test_planted_double_grant_shrinks_to_minimal_repro(tmp_path):
+    report = run_fuzz(
+        root_seed=0,
+        max_cases=16,
+        n_ops=36,
+        inject="av-double-grant",
+        artifact_dir=str(tmp_path),
+    )
+    assert not report.ok
+    assert report.shrink is not None
+
+    # ISSUE 5 acceptance: the known-bad schedule must shrink to a
+    # minimal repro of at most 5 ops and 2 fault steps.
+    shrunk = report.shrink.case
+    assert len(shrunk.ops) <= 5
+    assert len(shrunk.faults) <= 2
+    assert shrunk.inject == "av-double-grant"
+
+    # The minimal case still exhibits exactly the original bug class.
+    outcome = run_case(shrunk)
+    assert outcome.rules == report.shrink.rules
+    assert "av.conservation" in outcome.rules
+
+    # ... and the written artifact replayed byte-identically.
+    assert report.artifact_path is not None
+    assert report.replay_ok is True
+
+
+def test_artifact_replays_byte_identically(tmp_path):
+    report = run_fuzz(
+        root_seed=0,
+        max_cases=16,
+        inject="av-double-grant",
+        artifact_dir=str(tmp_path),
+    )
+    with open(report.artifact_path, encoding="utf-8") as handle:
+        artifact = json.load(handle)
+    assert artifact["format"] == "repro-fuzz-repro/1"
+    assert artifact["shrink"]["ops"][1] <= artifact["shrink"]["ops"][0]
+
+    reproduced, text = replay_artifact(report.artifact_path)
+    assert reproduced
+    assert "REPRODUCED" in text
+
+    # Tampering with the recorded digest must be detected.
+    artifact["digest"] = "0" * 64
+    tampered = tmp_path / "tampered.json"
+    tampered.write_text(json.dumps(artifact))
+    reproduced, text = replay_artifact(str(tampered))
+    assert not reproduced
+    assert "MISMATCH" in text
+
+
+def test_shrink_survives_orphaned_fault_steps():
+    """ddmin may keep a recover/heal whose crash/partition was dropped."""
+    case = make_case(0, 0, inject="av-double-grant")
+    orphaned = case.with_(faults=((60.0, "recover", ("site1",)),
+                                  (80.0, "heal", ())))
+    outcome = run_case(orphaned)
+    assert "av.conservation" in outcome.rules  # still reproduces
+
+
+def test_shrink_is_deterministic():
+    case = make_case(0, 0, inject="av-double-grant")
+    first = shrink_case(case)
+    second = shrink_case(case)
+    assert first.case == second.case
+    assert first.runs == second.runs
