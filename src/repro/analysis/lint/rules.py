@@ -14,6 +14,11 @@ arguments lean on (see ``docs/analysis.md``):
 * ``span-coverage`` — observability: public protocol entry points must
   route through the span recorder so sanitizer findings can always name
   a span.
+* ``span-kind-registry`` — attribution: every span kind started in
+  ``src/`` must be declared in the profiler's
+  :data:`~repro.obs.profile.SPAN_SUBSYSTEMS` map, so new
+  instrumentation can never silently fall outside the subsystem
+  attribution (it would land in ``"other"`` and skew every dossier).
 """
 
 from __future__ import annotations
@@ -235,6 +240,56 @@ class SpanCoverageRule(Rule):
             )
 
 
+class SpanKindRegistryRule(Rule):
+    """Every span kind started in src/ is a registered subsystem kind.
+
+    Matches ``<expr>.start("kind", site, ...)`` calls — the span
+    recorder's signature (a constant string kind plus at least a site
+    argument) — and requires the kind to appear in the profiler's
+    :data:`~repro.obs.profile.SPAN_SUBSYSTEMS` map. Two-argument
+    ``.start(...)`` calls are ignored (schedulers, daemons and other
+    non-span ``start`` methods share the attribute name).
+    """
+
+    name = "span-kind-registry"
+    nodes = (ast.Call,)
+
+    def __init__(self) -> None:
+        self._registry = None
+
+    def _known_kinds(self) -> Set[str]:
+        if self._registry is None:
+            # Deferred import: the linter must not drag the profiler in
+            # unless this rule actually fires on a .start( call.
+            from repro.obs.profile import SPAN_SUBSYSTEMS
+
+            self._registry = set(SPAN_SUBSYSTEMS)
+        return self._registry
+
+    def applies_to(self, path: str) -> bool:
+        return in_src(path)
+
+    def check(self, node: ast.Call, ctx: FileContext) -> None:
+        if not isinstance(node.func, ast.Attribute):
+            return
+        if node.func.attr != "start" or len(node.args) < 2:
+            return
+        first = node.args[0]
+        if not (
+            isinstance(first, ast.Constant) and isinstance(first.value, str)
+        ):
+            return
+        kind = first.value
+        if kind in self._known_kinds():
+            return
+        ctx.report(
+            self.name, node,
+            f"span kind {kind!r} is not declared in"
+            " repro.obs.profile.SPAN_SUBSYSTEMS — add it to the"
+            " subsystem map so profiler attribution stays complete",
+        )
+
+
 def default_rules() -> List[Rule]:
     """Fresh instances of every repro lint rule."""
     return [
@@ -243,4 +298,5 @@ def default_rules() -> List[Rule]:
         UnorderedIterRule(),
         MessageHandlerRule(),
         SpanCoverageRule(),
+        SpanKindRegistryRule(),
     ]

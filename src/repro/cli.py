@@ -66,6 +66,100 @@ def _cmd_observe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.profile import COVERAGE_TARGET, run_profiled
+    from repro.obs.report import render_profile_text
+
+    run = run_profiled(
+        args.experiment,
+        n_updates=args.updates,
+        seed=args.seed,
+        small=args.small,
+        verify_digest=args.check,
+        # coverage is a wall-time ratio, so under --check take the best
+        # of a few attempts (OS preemption noise, not code, is what a
+        # single low reading usually measures)
+        best_of=3 if args.check else 1,
+    )
+    report = run.report
+    print(render_profile_text(report))
+
+    if args.flame:
+        with open(args.flame, "w", encoding="utf-8") as fh:
+            for line in run.flame:
+                fh.write(line + "\n")
+        print(f"\nwrote {len(run.flame)} collapsed-stack lines to {args.flame}")
+    if args.trace_out:
+        from repro.obs.export import SIM_UNIT_US
+        from repro.obs.profile import profiled_chrome_trace
+
+        events = []
+        for group in run.span_groups:
+            events.extend(profiled_chrome_trace(group))
+        document = {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "exporter": "repro.obs.profile",
+                "sim_unit_us": SIM_UNIT_US,
+            },
+        }
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            json.dump(document, fh)
+        print(f"wrote {len(events)} trace events to {args.trace_out}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, sort_keys=True, indent=1)
+            fh.write("\n")
+        print(f"wrote profile report to {args.out}")
+
+    if args.check:
+        attributed = [
+            name for name, row in report["subsystems"].items()
+            if row["events"] > 0
+        ]
+        failures = []
+        if len(attributed) < 4:
+            failures.append(
+                f"only {len(attributed)} subsystems attributed"
+                f" ({', '.join(attributed)}); expected >= 4"
+            )
+        if report["wall"]["coverage"] < COVERAGE_TARGET:
+            failures.append(
+                f"attribution coverage {report['wall']['coverage']:.1%}"
+                f" below the {COVERAGE_TARGET:.0%} gate"
+            )
+        if not report.get("digest_match", False):
+            failures.append(
+                "profiled digest differs from the unprofiled run"
+            )
+        if failures:
+            for failure in failures:
+                print(f"profile check FAILED: {failure}")
+            return 1
+        print(
+            f"\nprofile check ok: {len(attributed)} subsystems,"
+            f" coverage {report['wall']['coverage']:.1%},"
+            " digest identical to unprofiled run"
+        )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import load_report, render_html, render_text
+
+    payload = load_report(args.path)
+    print(render_text(payload))
+    if args.html:
+        document = render_html(payload)
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(document)
+        print(f"\nwrote HTML dossier to {args.html}")
+    return 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.analysis import run_check
 
@@ -222,14 +316,14 @@ def _run_grid_sweep(args: argparse.Namespace) -> int:
 
     rows = []
     for task, result in zip(sweep.tasks, sweep.results):
-        counters = result.get("counters", {})
+        telemetry = result.get("telemetry", {})
         rows.append(
             [
                 task.index,
                 task.experiment + (f":{task.scenario}" if task.scenario else ""),
                 task.seed,
                 task.n_updates,
-                counters.get("events_processed", ""),
+                telemetry.get("events_processed", ""),
                 round(result["reduction"], 3) if "reduction" in result else "",
                 (
                     "ok"
@@ -255,6 +349,17 @@ def _run_grid_sweep(args: argparse.Namespace) -> int:
         f" {wall:.2f}s wall ({events / wall:,.0f} events/s)"
         f"\nresult digest: {sweep.digest()}"
     )
+    from repro.obs.snapshot import telemetry_rows
+
+    t_rows = telemetry_rows(sweep.telemetry())
+    if t_rows:
+        print()
+        print(
+            text_table(
+                ["metric", "kind", "value"], t_rows,
+                title="Merged telemetry (shard-count invariant)",
+            )
+        )
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(sweep.canonical())
@@ -355,6 +460,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="write spans + metrics + samples as line-delimited JSON",
     )
     p.set_defaults(fn=_cmd_observe)
+
+    p = sub.add_parser(
+        "profile",
+        help=(
+            "run an experiment under the subsystem profiler: wall-time"
+            " attribution, span rollups, flamegraph + Chrome-trace export"
+        ),
+    )
+    p.add_argument(
+        "experiment", choices=["fig6", "table1", "chaos"],
+        help="which experiment to profile",
+    )
+    p.add_argument(
+        "--updates", type=int, default=None,
+        help="total updates (default: experiment's profile default)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="root seed")
+    p.add_argument(
+        "--small", action="store_true",
+        help="CI-smoke workload size (and the chaos small suite)",
+    )
+    p.add_argument(
+        "--flame", default=None, metavar="PATH",
+        help="write flamegraph collapsed stacks (flamegraph.pl/speedscope)",
+    )
+    p.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the subsystem-enriched Chrome trace JSON",
+    )
+    p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the profile report JSON (input to `repro report`)",
+    )
+    p.add_argument(
+        "--check", action="store_true",
+        help=(
+            "gate the run: >= 4 subsystems attributed, coverage >= 95%%,"
+            " and digest byte-identical to an unprofiled rerun"
+        ),
+    )
+    p.set_defaults(fn=_cmd_profile)
+
+    p = sub.add_parser(
+        "report",
+        help=(
+            "render a run dossier (text or HTML) from a profile report"
+            " JSON, a sweep canonical JSON, or a run directory"
+        ),
+    )
+    p.add_argument(
+        "path",
+        help="profile JSON, sweep JSON, or directory with profile.json",
+    )
+    p.add_argument(
+        "--html", default=None, metavar="PATH",
+        help="also write a self-contained HTML dossier",
+    )
+    p.set_defaults(fn=_cmd_report)
 
     p = sub.add_parser(
         "check",

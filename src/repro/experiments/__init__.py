@@ -27,6 +27,11 @@ from repro.experiments.observe import (
     ObservedRun,
     run_observed,
 )
+from repro.experiments.profile import (
+    PROFILE_EXPERIMENTS,
+    ProfiledRun,
+    run_profiled,
+)
 from repro.experiments.latency_exp import (
     LATENCY_HEADERS,
     LatencyResult,
@@ -62,6 +67,8 @@ __all__ = [
     "LatencyResult",
     "OBSERVABLE_EXPERIMENTS",
     "ObservedRun",
+    "PROFILE_EXPERIMENTS",
+    "ProfiledRun",
     "SWEEP_HEADERS",
     "SweepPoint",
     "Table1Result",
@@ -80,6 +87,7 @@ __all__ = [
     "run_fig6",
     "run_latency_experiment",
     "run_observed",
+    "run_profiled",
     "run_table1",
     "sweep_av_fraction",
     "sweep_items",

@@ -64,6 +64,11 @@ class ChaosResult:
     updates_completed: int
     #: kernel events processed by the scenario's simulation
     events_processed: int = 0
+    #: full telemetry snapshot of the end state (see repro.obs.snapshot)
+    telemetry: Dict[str, object] = field(default_factory=dict)
+    #: the run's observability hub (chaos always observes), for span
+    #: rollups in the profiler CLI
+    obs: Optional[object] = None
 
     @property
     def ok(self) -> bool:
@@ -273,6 +278,8 @@ def run_chaos_scenario(
         converged = False
         divergence = str(exc)
 
+    from repro.obs.snapshot import TelemetrySnapshot
+
     report = system.sanitizer.finish()
     loss = [w for w in report.warnings if w.rule in LOSS_RULES]
     return ChaosResult(
@@ -284,6 +291,8 @@ def run_chaos_scenario(
         updates_issued=len(trace),
         updates_completed=completed[0],
         events_processed=system.env.events_processed,
+        telemetry=TelemetrySnapshot.capture(system).to_dict(),
+        obs=system.obs,
     )
 
 

@@ -42,6 +42,9 @@ class Fig6Result:
     replicas: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: kernel events processed by the proposal run (throughput metric)
     events_processed: int = 0
+    #: full telemetry snapshot of the proposal run (events, metric
+    #: registry, per-site end state) — see :mod:`repro.obs.snapshot`
+    telemetry: Dict[str, object] = field(default_factory=dict)
 
     @property
     def proposal_series(self) -> CorrespondenceSeries:
@@ -164,6 +167,8 @@ def run_fig6(
     conventional_system = CentralizedSystem(config)
     conventional = run_counted(conventional_system, trace, "conventional", checkpoints)
 
+    from repro.obs.snapshot import TelemetrySnapshot
+
     return Fig6Result(
         proposal=proposal,
         conventional=conventional,
@@ -175,4 +180,5 @@ def run_fig6(
             for name, site in proposal_system.sites.items()
         },
         events_processed=proposal_system.env.events_processed,
+        telemetry=TelemetrySnapshot.capture(proposal_system).to_dict(),
     )

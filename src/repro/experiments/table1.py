@@ -44,6 +44,9 @@ class Table1Result:
     replicas: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: kernel events processed by the proposal run (throughput metric)
     events_processed: int = 0
+    #: full telemetry snapshot of the proposal run (events, metric
+    #: registry, per-site end state) — see :mod:`repro.obs.snapshot`
+    telemetry: Dict[str, object] = field(default_factory=dict)
 
     def assurance(self) -> AssuranceReport:
         """The paper's assurance claim, quantified on the final checkpoint."""
@@ -140,6 +143,8 @@ def run_table1(
         conventional_system, trace, "conventional", checkpoints, site_names=site_names
     )
 
+    from repro.obs.snapshot import TelemetrySnapshot
+
     return Table1Result(
         proposal=proposal,
         conventional=conventional,
@@ -153,4 +158,5 @@ def run_table1(
             for name, site in proposal_system.sites.items()
         },
         events_processed=proposal_system.env.events_processed,
+        telemetry=TelemetrySnapshot.capture(proposal_system).to_dict(),
     )

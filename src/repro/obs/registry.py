@@ -103,6 +103,68 @@ class StreamingHistogram:
         index = math.floor(math.log(value) / self._log_growth)
         self.buckets[index] = self.buckets.get(index, 0) + 1
 
+    def merge(self, other: "StreamingHistogram") -> "StreamingHistogram":
+        """Fold ``other``'s sketch into this one (shard aggregation).
+
+        Determinism guarantee: the bucket table after merging is a pure
+        function of the *multiset* of samples — observing samples in one
+        histogram or splitting them across shards and merging produces
+        exactly equal buckets/zeros/count/min/max, because bucket counts
+        are integers and bucket indexing depends only on the value.
+        (``total`` is a float sum, so byte-equality of ``total`` — and
+        hence of serialised snapshots — additionally requires a fixed
+        merge fold order; the sweep runner merges in task-index order.)
+        Property-tested in ``tests/test_obs.py``.
+        """
+        if other.growth != self.growth:
+            raise ValueError(
+                f"cannot merge histograms with growth {other.growth}"
+                f" into {self.growth}"
+            )
+        for index, n in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + n
+        self.zeros += other.zeros
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready snapshot of the full sketch state.
+
+        Buckets serialise as sorted ``[index, count]`` pairs (canonical
+        and round-trippable — JSON objects would stringify the integer
+        keys). ``min``/``max`` are ``None`` while empty so the encoding
+        stays strict-JSON (no ``Infinity`` literals).
+        """
+        return {
+            "kind": "histogram",
+            "growth": self.growth,
+            "buckets": [[i, self.buckets[i]] for i in sorted(self.buckets)],
+            "zeros": self.zeros,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, data: Dict[str, Any]) -> "StreamingHistogram":
+        """Rebuild a sketch from :meth:`to_dict` output."""
+        hist = cls(name, growth=data["growth"])
+        hist.buckets = {int(i): int(n) for i, n in data["buckets"]}
+        hist.zeros = int(data["zeros"])
+        hist.count = int(data["count"])
+        hist.total = float(data["total"])
+        if data["min"] is not None:
+            hist.min = float(data["min"])
+        if data["max"] is not None:
+            hist.max = float(data["max"])
+        return hist
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -216,6 +278,30 @@ class MetricRegistry:
                        "updated_at": inst.updated_at}
             else:
                 yield {"metric": name, "kind": "histogram", **inst.summary()}
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Full-state, JSON-ready snapshot of every instrument.
+
+        Unlike :meth:`to_dicts` (which renders histogram *summaries*),
+        this preserves raw histogram buckets so snapshots from different
+        workers can be merged losslessly (see
+        :mod:`repro.obs.snapshot`). Keys are sorted; values contain only
+        canonical JSON types.
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            if isinstance(inst, Counter):
+                out[name] = {"kind": "counter", "value": inst.value}
+            elif isinstance(inst, Gauge):
+                out[name] = {
+                    "kind": "gauge",
+                    "value": inst.value,
+                    "updated_at": inst.updated_at,
+                }
+            else:
+                out[name] = inst.to_dict()
+        return out
 
     def get(self, name: str) -> Optional[Instrument]:
         return self._instruments.get(name)

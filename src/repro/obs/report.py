@@ -1,0 +1,273 @@
+"""Run dossiers: render profile reports and sweep telemetry.
+
+``python -m repro report PATH`` points here. ``PATH`` may be:
+
+* a profile report JSON (``repro profile ... --out profile.json``),
+* a sweep canonical JSON (``repro sweep ... --out sweep.json``),
+* a directory containing ``profile.json``.
+
+Both kinds render as aligned text tables (the default) or as one
+self-contained HTML file (``--html OUT``) with no external assets, so
+the dossier can be archived next to the run artifacts and opened
+anywhere.
+
+Everything rendered here is a pure function of the input payload — the
+dossier for a given run is byte-stable, like every other observability
+artifact in this repo.
+"""
+
+from __future__ import annotations
+
+import html as html_mod
+import json
+import os
+from typing import Any, Dict, List
+
+from repro.metrics.report import text_table
+from repro.obs.snapshot import merge_telemetry, telemetry_rows
+
+#: hotspots shown in the dossier tables
+TOP_N = 10
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Load a dossier payload from a file or run directory."""
+    if os.path.isdir(path):
+        candidate = os.path.join(path, "profile.json")
+        if not os.path.isfile(candidate):
+            raise FileNotFoundError(
+                f"{path!r} is a directory without a profile.json"
+            )
+        path = candidate
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path!r} does not contain a JSON object")
+    return payload
+
+
+def report_kind(payload: Dict[str, Any]) -> str:
+    """``"profile"`` or ``"sweep"`` — how to render this payload."""
+    if payload.get("kind") == "profile":
+        return "profile"
+    if "results" in payload:
+        return "sweep"
+    raise ValueError(
+        "unrecognised report payload: expected a profile report"
+        " (kind='profile') or a sweep canonical JSON (with 'results')"
+    )
+
+
+def _fmt_site_value(value: Any) -> str:
+    if isinstance(value, dict):
+        return (
+            f"sum={value['sum']:g} min={value['min']:g}"
+            f" max={value['max']:g}"
+        )
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _site_rows(sites: Dict[str, Any]) -> List[List[Any]]:
+    rows = []
+    for name in sorted(sites):
+        for field in sorted(sites[name]):
+            rows.append([name, field, _fmt_site_value(sites[name][field])])
+    return rows
+
+
+# ------------------------------------------------------------------ #
+# profile dossier
+# ------------------------------------------------------------------ #
+
+def _profile_sections(report: Dict[str, Any]) -> List[tuple]:
+    """``(title, headers, rows)`` sections shared by text and HTML."""
+    wall = report.get("wall", {})
+    head_rows = [
+        ["experiment", report.get("experiment", "?")],
+        ["updates", report.get("n_updates", "?")],
+        ["seed", report.get("seed", "?")],
+        ["kernel events", report.get("events_processed", "?")],
+        ["run wall (s)", f"{wall.get('run_s', 0.0):.4f}"],
+        ["attributed (s)", f"{wall.get('attributed_s', 0.0):.4f}"],
+        ["coverage", f"{wall.get('coverage', 0.0):.1%}"],
+        ["digest", report.get("digest", "?")],
+    ]
+    if "digest_match" in report:
+        head_rows.append([
+            "digest vs unprofiled",
+            "IDENTICAL" if report["digest_match"] else "MISMATCH",
+        ])
+
+    sub_rows = [
+        [
+            name,
+            row["events"],
+            f"{row['wall_s']:.4f}",
+            f"{row['wall_pct']:.1f}",
+            f"{row.get('sim_time', 0.0):g}",
+            row.get("spans", 0),
+        ]
+        for name, row in sorted(report.get("subsystems", {}).items())
+    ]
+
+    hot_rows = [
+        [
+            h["name"],
+            h["subsystem"],
+            h["count"],
+            f"{h['self_sim']:g}",
+            f"{h['cum_sim']:g}",
+        ]
+        for h in report.get("hotspots", [])[:TOP_N]
+    ]
+
+    return [
+        ("Run", ["field", "value"], head_rows),
+        (
+            "Wall-time attribution by subsystem",
+            ["subsystem", "events", "wall_s", "wall_%", "sim_time", "spans"],
+            sub_rows,
+        ),
+        (
+            f"Top {len(hot_rows)} hotspots (span self sim-time)",
+            ["kind", "subsystem", "count", "self_sim", "cum_sim"],
+            hot_rows,
+        ),
+        (
+            "Per-site end state",
+            ["site", "field", "value"],
+            _site_rows(report.get("sites", {})),
+        ),
+    ]
+
+
+def render_profile_text(report: Dict[str, Any]) -> str:
+    blocks = [
+        text_table(headers, rows, title=title)
+        for title, headers, rows in _profile_sections(report)
+        if rows
+    ]
+    return "\n\n".join(blocks)
+
+
+# ------------------------------------------------------------------ #
+# sweep dossier
+# ------------------------------------------------------------------ #
+
+def _sweep_sections(sweep: Dict[str, Any]) -> List[tuple]:
+    results = sweep.get("results", [])
+    merged = merge_telemetry(r.get("telemetry", {}) for r in results)
+    head_rows = [
+        ["grid", sweep.get("grid", "?")],
+        ["root seed", sweep.get("root_seed", "?")],
+        ["tasks", len(results)],
+        ["kernel events", merged.get("events_processed", 0)],
+    ]
+    task_rows = []
+    for result in results:
+        task = result.get("task", {})
+        telemetry = result.get("telemetry", {})
+        task_rows.append([
+            task.get("index", "?"),
+            task.get("experiment", "?")
+            + (f":{task['scenario']}" if task.get("scenario") else ""),
+            task.get("seed", "?"),
+            task.get("n_updates", "?"),
+            telemetry.get("events_processed", ""),
+        ])
+    return [
+        ("Sweep", ["field", "value"], head_rows),
+        (
+            "Tasks",
+            ["task", "experiment", "seed", "updates", "events"],
+            task_rows,
+        ),
+        (
+            "Merged telemetry",
+            ["metric", "kind", "value"],
+            telemetry_rows(merged),
+        ),
+        (
+            "Per-site aggregates",
+            ["site", "field", "value"],
+            _site_rows(merged.get("sites", {})),
+        ),
+    ]
+
+
+def render_sweep_text(sweep: Dict[str, Any]) -> str:
+    blocks = [
+        text_table(headers, rows, title=title)
+        for title, headers, rows in _sweep_sections(sweep)
+        if rows
+    ]
+    return "\n\n".join(blocks)
+
+
+# ------------------------------------------------------------------ #
+# HTML (self-contained, no external assets)
+# ------------------------------------------------------------------ #
+
+_HTML_STYLE = """
+body { font-family: monospace; margin: 2em; color: #222; }
+h1 { font-size: 1.3em; }
+h2 { font-size: 1.05em; margin-top: 1.6em; }
+table { border-collapse: collapse; margin: 0.5em 0; }
+th, td { border: 1px solid #bbb; padding: 0.25em 0.6em; text-align: left; }
+th { background: #eee; }
+td.num { text-align: right; }
+"""
+
+
+def _html_table(headers: List[str], rows: List[List[Any]]) -> str:
+    parts = ["<table><tr>"]
+    parts += [f"<th>{html_mod.escape(str(h))}</th>" for h in headers]
+    parts.append("</tr>")
+    for row in rows:
+        parts.append("<tr>")
+        for cell in row:
+            cls = ' class="num"' if isinstance(cell, (int, float)) else ""
+            parts.append(f"<td{cls}>{html_mod.escape(str(cell))}</td>")
+        parts.append("</tr>")
+    parts.append("</table>")
+    return "".join(parts)
+
+
+def render_html(payload: Dict[str, Any]) -> str:
+    """One self-contained HTML dossier for either payload kind."""
+    kind = report_kind(payload)
+    if kind == "profile":
+        title = (
+            f"Profile dossier — {payload.get('experiment', '?')}"
+            f" (n={payload.get('n_updates', '?')},"
+            f" seed={payload.get('seed', '?')})"
+        )
+        sections = _profile_sections(payload)
+    else:
+        title = (
+            f"Sweep dossier — {payload.get('grid', '?')}"
+            f" (root seed {payload.get('root_seed', '?')})"
+        )
+        sections = _sweep_sections(payload)
+    body = [f"<h1>{html_mod.escape(title)}</h1>"]
+    for section_title, headers, rows in sections:
+        if not rows:
+            continue
+        body.append(f"<h2>{html_mod.escape(section_title)}</h2>")
+        body.append(_html_table(headers, rows))
+    return (
+        "<!doctype html><html><head><meta charset=\"utf-8\">"
+        f"<title>{html_mod.escape(title)}</title>"
+        f"<style>{_HTML_STYLE}</style></head><body>"
+        + "".join(body)
+        + "</body></html>"
+    )
+
+
+def render_text(payload: Dict[str, Any]) -> str:
+    """Text dossier for either payload kind."""
+    if report_kind(payload) == "profile":
+        return render_profile_text(payload)
+    return render_sweep_text(payload)

@@ -75,10 +75,35 @@ class SweepResult:
 
     @property
     def events_processed(self) -> int:
-        """Total kernel events across all task simulations."""
-        return sum(
-            r.get("counters", {}).get("events_processed", 0)
-            for r in self.results
+        """Total kernel events across all task simulations.
+
+        Served from the per-task telemetry snapshots (the single
+        carrier for worker-side runtime state — see
+        :mod:`repro.obs.snapshot`); falls back to the legacy counters
+        field for payloads that predate telemetry (e.g. fuzz tasks).
+        """
+        total = 0
+        for r in self.results:
+            telemetry = r.get("telemetry")
+            if telemetry:
+                total += telemetry.get("events_processed", 0)
+            else:
+                total += r.get("counters", {}).get("events_processed", 0)
+        return total
+
+    def telemetry(self) -> dict:
+        """The sweep-level merged telemetry report.
+
+        Task snapshots are folded in task-index order (the order of
+        :attr:`results`), which makes the merge shard-count invariant —
+        byte-identical for ``--shards 1`` and ``--shards 4`` just like
+        the result fingerprints (gated in
+        ``tests/test_perf_determinism.py``).
+        """
+        from repro.obs.snapshot import merge_telemetry
+
+        return merge_telemetry(
+            r.get("telemetry", {}) for r in self.results
         )
 
     def canonical(self) -> str:

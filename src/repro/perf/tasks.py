@@ -3,8 +3,10 @@
 A :class:`SweepTask` carries everything needed to reproduce one
 simulation (experiment name, seed, workload shape); :func:`run_task`
 executes it and returns a plain-dict *fingerprint* of the run — per
-update outcome tags, final replica values, and the network/kernel
-counters. The fingerprint is what the determinism suite compares
+update outcome tags, final replica values, experiment counters, and the
+run's telemetry snapshot (kernel event count, metric registry, per-site
+end state — see :mod:`repro.obs.snapshot`). The fingerprint is what the
+determinism suite compares
 byte-for-byte between sequential and sharded execution, so it must be:
 
 * **picklable** (it crosses a ``multiprocessing`` queue),
@@ -110,7 +112,6 @@ def _run_fig6_task(task: SweepTask) -> Dict[str, Any]:
         "update_tags": _update_tags(result.proposal.results),
         "replicas": result.replicas,
         "counters": {
-            "events_processed": result.events_processed,
             "proposal_correspondences": (
                 result.proposal.final().total_correspondences
             ),
@@ -118,6 +119,7 @@ def _run_fig6_task(task: SweepTask) -> Dict[str, Any]:
                 result.conventional.final().total_correspondences
             ),
         },
+        "telemetry": result.telemetry,
     }
     return payload
 
@@ -135,11 +137,11 @@ def _run_table1_task(task: SweepTask) -> Dict[str, Any]:
         "replicas": result.replicas,
         "per_site": {s: final.per_site[s] for s in result.site_names},
         "counters": {
-            "events_processed": result.events_processed,
             "proposal_correspondences": final.total_correspondences,
             "fairness": assurance.retailer_fairness,
             "local_ratio": assurance.local_completion_ratio,
         },
+        "telemetry": result.telemetry,
     }
     return payload
 
@@ -169,10 +171,10 @@ def _run_chaos_task(task: SweepTask) -> Dict[str, Any]:
         "updates_issued": result.updates_issued,
         "updates_completed": result.updates_completed,
         "counters": {
-            "events_processed": result.events_processed,
             "violations": len(result.report.violations),
             "loss_warnings": len(result.loss_warnings),
         },
+        "telemetry": result.telemetry,
     }
 
 

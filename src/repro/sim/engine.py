@@ -85,6 +85,18 @@ class Environment:
         #: total number of events processed (diagnostic)
         self.events_processed: int = 0
 
+    #: Optional dispatch hook for subsystem profiling (see
+    #: :mod:`repro.obs.profile`). When set, :meth:`step` delegates the
+    #: callback loop to ``profile_dispatch(event, callbacks)`` instead of
+    #: running it inline, letting the profiler time and attribute each
+    #: event without touching scheduling. Class-level on purpose: the
+    #: profiler activates for *every* environment in the process
+    #: (experiments build several — proposal, baseline, per scenario)
+    #: without any constructor threading. Must execute the callbacks
+    #: exactly as the inline loop would; purely observational hooks keep
+    #: runs bit-identical to unprofiled execution.
+    profile_dispatch = None
+
     # ------------------------------------------------------------------ #
     # clock & inspection
     # ------------------------------------------------------------------ #
@@ -213,8 +225,12 @@ class Environment:
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:  # pragma: no cover - double-schedule guard
             return
-        for callback in callbacks:
-            callback(event)
+        dispatch = self.profile_dispatch
+        if dispatch is not None:
+            dispatch(event, callbacks)
+        else:
+            for callback in callbacks:
+                callback(event)
         self.events_processed += 1
 
         if not event._ok and not event.defused:

@@ -148,7 +148,7 @@ class TestSpanCoverage:
         assert lint_source(tmp_path, """\
             class FooProtocol:
                 def execute(self, accel, item):
-                    span = accel.obs.recorder.start("foo", accel.site, 0.0)
+                    span = accel.obs.recorder.start("read", accel.site, 0.0)
                     span.finish(1.0)
             """) == []
 
@@ -157,6 +157,50 @@ class TestSpanCoverage:
             class FooHelper:
                 def execute(self, item):
                     return item
+            """) == []
+
+
+class TestSpanKindRegistry:
+    def test_unregistered_kind_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            def go(rec, site):
+                span = rec.start("made.up.kind", site, 0.0)
+                span.finish(1.0)
+            """)
+        assert rules_hit(findings) == ["span-kind-registry"]
+        assert "SPAN_SUBSYSTEMS" in findings[0].message
+
+    def test_registered_kind_clean(self, tmp_path):
+        assert lint_source(tmp_path, """\
+            def go(rec, site):
+                span = rec.start("read", site, 0.0)
+                span.finish(1.0)
+            """) == []
+
+    def test_tests_exempt(self, tmp_path):
+        assert lint_source(tmp_path, """\
+            def go(rec, site):
+                rec.start("made.up.kind", site, 0.0)
+            """, relpath="tests/test_x.py") == []
+
+    def test_non_span_start_methods_ignored(self, tmp_path):
+        # Schedulers/daemons also expose .start(); with fewer than two
+        # positional args it cannot be the span-recorder signature.
+        assert lint_source(tmp_path, """\
+            def go(daemon):
+                daemon.start("worker-1")
+            """) == []
+
+    def test_dynamic_kinds_ignored(self, tmp_path):
+        assert lint_source(tmp_path, """\
+            def go(rec, site, kind):
+                rec.start(kind, site, 0.0)
+            """) == []
+
+    def test_suppressible(self, tmp_path):
+        assert lint_source(tmp_path, """\
+            def go(rec, site):
+                rec.start("one.off", site, 0.0)  # repro-lint: disable=span-kind-registry (debug probe)
             """) == []
 
 

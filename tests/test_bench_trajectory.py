@@ -1,0 +1,188 @@
+"""Tests for the benchmark-history trajectory analytics.
+
+The harness lives outside the installed package (``benchmarks/``), so
+these tests import it by path. They exercise the pure analytics layer —
+history lines, the rolling-window verdict, and the regression gate —
+with synthetic reports, never by timing real sweeps.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_HARNESS_PATH = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "harness.py"
+)
+_spec = importlib.util.spec_from_file_location("bench_harness", _HARNESS_PATH)
+harness = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("bench_harness", harness)
+_spec.loader.exec_module(harness)
+
+
+def _report(throughput=1.0, grid="fig6-small", wall=0.5):
+    """Minimal grid report with the fields the analytics consume."""
+    return {
+        "experiment": "fig6",
+        "grid": grid,
+        "root_seed": 0,
+        "tasks": 6,
+        "events_processed": 12345,
+        "calibration_kops": 20000.0,
+        "sequential": {"normalized_throughput": throughput, "wall_s": wall},
+        "digest": "d" * 16,
+        "digest_match": True,
+    }
+
+
+def _entries(*throughputs, grid="fig6-small"):
+    return [
+        harness.history_entry(_report(t, grid=grid), ts=1000.0 + i)
+        for i, t in enumerate(throughputs)
+    ]
+
+
+class TestHistoryFile:
+    def test_entry_fields(self):
+        entry = harness.history_entry(_report(1.25), ts=1234.5678)
+        assert entry["schema"] == harness.HISTORY_SCHEMA
+        assert entry["ts"] == 1234.568
+        assert entry["grid"] == "fig6-small"
+        assert entry["normalized_throughput"] == 1.25
+        assert entry["digest_match"] is True
+
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "HISTORY.jsonl"
+        first = harness.append_history(_report(1.0), path=path, ts=1.0)
+        second = harness.append_history(_report(1.1), path=path, ts=2.0)
+        assert harness.load_history(path) == [first, second]
+
+    def test_load_filters_by_grid(self, tmp_path):
+        path = tmp_path / "HISTORY.jsonl"
+        harness.append_history(_report(1.0, grid="fig6-small"), path=path)
+        harness.append_history(_report(2.0, grid="chaos-small"), path=path)
+        entries = harness.load_history(path, grid="chaos-small")
+        assert [e["normalized_throughput"] for e in entries] == [2.0]
+
+    def test_load_skips_malformed_lines(self, tmp_path):
+        path = tmp_path / "HISTORY.jsonl"
+        entry = harness.append_history(_report(1.0), path=path, ts=1.0)
+        with path.open("a") as fh:
+            fh.write("not json at all\n\n{\"half\": \n")
+        assert harness.load_history(path) == [entry]
+
+    def test_missing_file_is_empty_history(self, tmp_path):
+        assert harness.load_history(tmp_path / "absent.jsonl") == []
+
+    def test_lines_are_canonical_json(self, tmp_path):
+        path = tmp_path / "HISTORY.jsonl"
+        harness.append_history(_report(1.0), path=path, ts=1.0)
+        line = path.read_text().strip()
+        assert line == json.dumps(json.loads(line), sort_keys=True)
+
+
+class TestTrajectoryVerdict:
+    def test_synthetic_ten_percent_regression_flagged(self):
+        # A healthy run history at ~1.0, then the current run drops
+        # below every recent run by more than the tolerance.
+        history = _entries(1.0, 1.02, 0.99, 1.01, 1.0)
+        verdict = harness.trajectory_verdict(_report(0.88), history)
+        assert verdict["verdict"] == "regression"
+        assert verdict["floor"] == 0.99
+        assert verdict["floor_ratio"] < 0.9
+        assert verdict["window"] == 5
+
+    def test_noise_above_floor_tolerance_is_stable(self):
+        history = _entries(1.0, 1.2, 0.95, 1.1, 1.05)
+        verdict = harness.trajectory_verdict(_report(0.9), history)
+        # 0.9 / floor(0.95) ≈ 0.947 — inside the 10% band.
+        assert verdict["verdict"] == "stable"
+
+    def test_improvement_requires_beating_all_trends(self):
+        history = _entries(1.0, 1.0, 1.0)
+        baseline = _report(1.0)
+        verdict = harness.trajectory_verdict(
+            _report(1.2), history, baseline=baseline
+        )
+        assert verdict["verdict"] == "improvement"
+        # ...but not if the committed baseline is already higher.
+        verdict = harness.trajectory_verdict(
+            _report(1.2), history, baseline=_report(1.15)
+        )
+        assert verdict["verdict"] == "stable"
+
+    def test_baseline_gates_only_without_history(self):
+        baseline = _report(1.0)
+        verdict = harness.trajectory_verdict(_report(0.8), [], baseline)
+        assert verdict["verdict"] == "regression"
+        # With history, a healthy trajectory outvotes a stale baseline.
+        history = _entries(0.8, 0.82, 0.81)
+        verdict = harness.trajectory_verdict(_report(0.8), history, baseline)
+        assert verdict["verdict"] == "stable"
+        assert verdict["baseline_ratio"] == 0.8  # still reported
+
+    def test_no_data(self):
+        verdict = harness.trajectory_verdict(_report(1.0), [])
+        assert verdict["verdict"] == "no-data"
+        assert verdict["baseline"] is None
+        assert verdict["floor"] is None
+
+    def test_window_limits_lookback(self):
+        # An ancient slow run outside the window must not lower the floor.
+        history = _entries(0.5, 1.0, 1.0, 1.0, 1.0, 1.0)
+        verdict = harness.trajectory_verdict(
+            _report(0.88), history, window=5
+        )
+        assert verdict["floor"] == 1.0
+        assert verdict["verdict"] == "regression"
+
+    def test_other_grids_ignored(self):
+        history = _entries(5.0, 5.0, grid="chaos-small")
+        verdict = harness.trajectory_verdict(_report(1.0), history)
+        assert verdict["verdict"] == "no-data"
+
+    def test_zero_throughput_entries_skipped(self):
+        history = _entries(0.0, 1.0)
+        verdict = harness.trajectory_verdict(_report(1.0), history)
+        assert verdict["window"] == 1
+        assert verdict["floor"] == 1.0
+
+    def test_render_mentions_verdict_and_references(self):
+        history = _entries(1.0, 1.0)
+        verdict = harness.trajectory_verdict(
+            _report(1.0), history, baseline=_report(1.0)
+        )
+        text = harness.render_verdict(verdict)
+        assert "trajectory verdict [fig6-small]: stable" in text
+        assert "vs baseline" in text
+        assert "vs floor" in text
+
+    def test_median_helper(self):
+        assert harness._median([3.0, 1.0, 2.0]) == 2.0
+        assert harness._median([4.0, 1.0, 2.0, 3.0]) == 2.5
+
+
+class TestCalibration:
+    def test_calibrate_positive(self):
+        assert harness.calibrate(samples=1) > 0
+
+
+@pytest.mark.parametrize("grid", sorted(harness.BENCH_GRIDS))
+def test_committed_baselines_parse(grid):
+    """The checked-in BENCH_*.json files feed the gate; keep them sane."""
+    path = harness.RESULTS_DIR / f"BENCH_{grid}.json"
+    baseline = json.loads(path.read_text())
+    assert baseline["sequential"]["normalized_throughput"] > 0
+    assert baseline["digest_match"] is True
+
+
+def test_committed_history_parses():
+    entries = harness.load_history()
+    assert entries, "benchmarks/results/HISTORY.jsonl should not be empty"
+    for entry in entries:
+        assert entry["schema"] == harness.HISTORY_SCHEMA
+        assert entry["grid"] in {g + "-small" for g in ("fig6", "table1", "chaos")} | {
+            "fig6", "table1", "chaos"
+        }

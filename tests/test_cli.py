@@ -128,3 +128,74 @@ class TestObserveCommand:
         assert code == 0
         assert "trace events" in capsys.readouterr().out
         assert trace_path.exists()
+
+
+class TestProfileCommand:
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile", "fig6"])
+        assert args.experiment == "fig6"
+        assert args.updates is None and args.seed == 0
+        assert not args.small and not args.check
+        assert args.flame is None and args.trace_out is None
+        assert args.out is None
+
+    def test_profile_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "bogus"])
+
+    def test_profile_runs_with_artifacts_and_check(self, capsys, tmp_path):
+        import json
+
+        flame = tmp_path / "flame.txt"
+        trace = tmp_path / "trace.json"
+        out = tmp_path / "profile.json"
+        code = main([
+            "profile", "fig6", "--small", "--check",
+            "--flame", str(flame),
+            "--trace-out", str(trace),
+            "--out", str(out),
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "Wall-time attribution" in printed
+        assert "profile check ok" in printed
+        # flamegraph collapsed stacks: "frame;frame value" per line
+        lines = flame.read_text().splitlines()
+        assert lines
+        assert all(line.rsplit(" ", 1)[1].isdigit() for line in lines)
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"]
+        assert any(
+            e.get("cat") in ("av", "locks", "sync")
+            for e in doc["traceEvents"]
+        )
+        report = json.loads(out.read_text())
+        assert report["kind"] == "profile"
+        assert report["digest_match"] is True
+
+
+class TestReportCommand:
+    def test_report_requires_path(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report"])
+
+    def test_report_renders_profile_json(self, capsys, tmp_path):
+        out = tmp_path / "profile.json"
+        assert main([
+            "profile", "fig6", "--small", "--out", str(out),
+        ]) == 0
+        capsys.readouterr()
+
+        html = tmp_path / "dossier.html"
+        assert main(["report", str(out), "--html", str(html)]) == 0
+        printed = capsys.readouterr().out
+        assert "Wall-time attribution" in printed
+        document = html.read_text()
+        assert document.startswith("<!doctype html>")
+        assert "<script" not in document  # self-contained, no JS
+
+    def test_report_rejects_non_report_json(self, capsys, tmp_path):
+        bad = tmp_path / "x.json"
+        bad.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            main(["report", str(bad)])

@@ -154,6 +154,81 @@ class TestStreamingHistogram:
         assert hist.quantile(0.5) == 0.0 and hist.summary()["max"] == 0.0
 
 
+class TestStreamingHistogramMerge:
+    """The shard-aggregation determinism guarantee, property-style."""
+
+    SAMPLE_SETS = [
+        [float(v) for v in range(1, 201)],
+        [1.0007 ** i for i in range(500)],
+        [0.0] * 25 + [0.5, 2.0, 2.0, 1e-9, 1e9],
+        [],
+    ]
+
+    @staticmethod
+    def _fill(samples):
+        hist = StreamingHistogram("lat")
+        for v in samples:
+            hist.observe(v)
+        return hist
+
+    @pytest.mark.parametrize("samples", SAMPLE_SETS)
+    @pytest.mark.parametrize("shards", [1, 2, 3, 7])
+    def test_any_shard_split_merges_to_single_histogram(
+        self, samples, shards
+    ):
+        whole = self._fill(samples)
+        parts = [
+            self._fill(samples[i::shards]) for i in range(shards)
+        ]
+        merged = StreamingHistogram("lat")
+        for part in parts:
+            merged.merge(part)
+        assert merged.buckets == whole.buckets
+        assert merged.zeros == whole.zeros
+        assert merged.count == whole.count
+        assert (merged.min, merged.max) == (whole.min, whole.max)
+        assert merged.total == pytest.approx(whole.total)
+
+    def test_ordered_fold_is_byte_deterministic(self):
+        # Same shard snapshots, merged twice in the same (task-index)
+        # order: serialised state must match byte for byte — this is
+        # what makes sweep telemetry shard-count invariant.
+        samples = [1.0003 ** i for i in range(300)]
+        shards = [self._fill(samples[i::4]) for i in range(4)]
+        encodings = []
+        for _ in range(2):
+            acc = StreamingHistogram("lat")
+            for shard in shards:
+                acc.merge(shard)
+            encodings.append(
+                json.dumps(acc.to_dict(), sort_keys=True,
+                           separators=(",", ":"))
+            )
+        assert encodings[0] == encodings[1]
+
+    def test_merge_returns_self_for_chaining(self):
+        a, b = self._fill([1.0]), self._fill([2.0])
+        assert a.merge(b) is a
+        assert a.count == 2
+
+    def test_growth_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="growth"):
+            StreamingHistogram("a", growth=1.05).merge(
+                StreamingHistogram("b", growth=1.1)
+            )
+
+    def test_to_dict_round_trip(self):
+        hist = self._fill([0.0, 0.5, 3.0, 3.0, 1e6])
+        clone = StreamingHistogram.from_dict("lat", hist.to_dict())
+        assert clone.to_dict() == hist.to_dict()
+        assert clone.quantile(0.5) == hist.quantile(0.5)
+
+    def test_empty_serialises_without_infinities(self):
+        data = StreamingHistogram("lat").to_dict()
+        assert data["min"] is None and data["max"] is None
+        json.dumps(data, allow_nan=False)  # strict JSON
+
+
 class TestMetricRegistry:
     def test_get_or_create_returns_same_instrument(self):
         reg = MetricRegistry()

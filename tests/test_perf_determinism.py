@@ -60,6 +60,29 @@ def test_chaos_grid_sharded_matches_sequential():
     assert all(r["ok"] for r in sequential.results)
 
 
+@pytest.mark.parametrize("grid", ["fig6-small", "chaos-small"])
+def test_merged_telemetry_shard_count_invariant(grid):
+    """The sweep-level telemetry report is part of the determinism
+    surface: folding shard snapshots in task-index order must yield a
+    byte-identical merge for any shard count."""
+    from repro.perf.tasks import canonical_json
+
+    encodings = {
+        canonical_json(_sweep(grid, 0, shards=n).telemetry())
+        for n in (1, 2, 4)
+    }
+    assert len(encodings) == 1
+
+
+def test_merged_telemetry_carries_real_payload():
+    sweep = _sweep("fig6-small", 0, shards=2)
+    telemetry = sweep.telemetry()
+    assert telemetry["tasks"] == len(sweep.results)
+    assert telemetry["events_processed"] == sweep.events_processed > 0
+    assert telemetry["metrics"]
+    assert telemetry["sites"]
+
+
 def test_different_root_seeds_differ():
     """The root seed genuinely reaches the workloads."""
     assert (

@@ -1,0 +1,225 @@
+"""Tests for the subsystem profiler and profiled experiment runs.
+
+The contract: profiling is purely observational. A profiled run's
+simulation fingerprint is byte-identical to an unprofiled one, the
+attribution covers (nearly) all of the run loop's wall time across at
+least the major subsystems, and every deterministic part of the report
+(event counts, span rollups, flame stacks) is identical run to run.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import run_fig6
+from repro.experiments.profile import ProfiledRun, run_profiled
+from repro.obs.profile import (
+    MODULE_SUBSYSTEMS,
+    SPAN_SUBSYSTEMS,
+    SUBSYSTEMS,
+    Profiler,
+    collapsed_stacks,
+    profiled_chrome_trace,
+    span_rollups,
+    subsystem_for_path,
+    write_collapsed_stacks,
+    write_profiled_chrome_trace,
+)
+from repro.obs.spans import SpanRecorder
+from repro.sim.engine import Environment
+
+
+class TestSubsystemClassification:
+    def test_known_module_paths(self):
+        assert subsystem_for_path("/x/src/repro/net/channel.py") == "net"
+        assert subsystem_for_path("/x/src/repro/core/delay_update.py") == "av"
+        assert subsystem_for_path("/x/src/repro/core/sync.py") == "sync"
+        assert (
+            subsystem_for_path("/x/src/repro/core/immediate_update.py")
+            == "locks"
+        )
+        assert subsystem_for_path("/x/src/repro/db/locks.py") == "locks"
+        assert subsystem_for_path("/x/src/repro/sim/engine.py") == "engine"
+        assert (
+            subsystem_for_path("/x/src/repro/baselines/centralized.py")
+            == "baseline"
+        )
+
+    def test_unknown_paths_fall_back_to_other(self):
+        assert subsystem_for_path("/somewhere/else.py") == "other"
+        assert subsystem_for_path("/x/src/repro/new_pkg/mod.py") == "other"
+
+    def test_every_mapped_subsystem_is_declared(self):
+        assert {s for _, s in MODULE_SUBSYSTEMS} <= set(SUBSYSTEMS)
+        assert set(SPAN_SUBSYSTEMS.values()) <= set(SUBSYSTEMS)
+
+
+class TestProfilerHook:
+    def test_nested_activation_rejected(self):
+        with Profiler():
+            with pytest.raises(RuntimeError):
+                Profiler().__enter__()
+
+    def test_hook_removed_after_exit(self):
+        with Profiler():
+            assert Environment.profile_dispatch is not None
+        assert Environment.profile_dispatch is None
+
+    def test_hook_removed_even_on_error(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with Profiler():
+                raise RuntimeError("boom")
+        assert Environment.profile_dispatch is None
+
+    def test_attribution_covers_run_wall(self):
+        # Coverage is a wall-time ratio: an OS preemption between two
+        # kernel events deflates it on a noisy host, so take the best
+        # of a few attempts (same remedy as best-of-N bench timing).
+        best = None
+        for _ in range(3):
+            profiler = Profiler()
+            with profiler:
+                run_fig6(n_updates=200, seed=0)
+            assert profiler.events_attributed > 0
+            if best is None or profiler.coverage > best:
+                best = profiler.coverage
+            if best >= 0.95:
+                break
+        assert best >= 0.95
+        # the run loop's own overhead keeps coverage strictly below 1
+        assert best <= 1.0
+
+    def test_event_counts_deterministic(self):
+        counts = []
+        for _ in range(2):
+            profiler = Profiler()
+            with profiler:
+                run_fig6(n_updates=120, seed=3)
+            counts.append(profiler.event_counts())
+        assert counts[0] == counts[1]
+        assert sum(counts[0].values()) > 0
+
+
+class TestProfiledRun:
+    @pytest.fixture(scope="class")
+    def fig6_profiled(self):
+        # best_of makes the coverage assertion noise-robust: see
+        # run_profiled's docstring
+        return run_profiled(
+            "fig6", small=True, verify_digest=True, best_of=3
+        )
+
+    def test_digest_identical_to_unprofiled(self, fig6_profiled):
+        assert fig6_profiled.report["digest_match"] is True
+
+    def test_at_least_four_subsystems_attributed(self, fig6_profiled):
+        attributed = [
+            name
+            for name, row in fig6_profiled.report["subsystems"].items()
+            if row["events"] > 0
+        ]
+        assert len(attributed) >= 4
+
+    def test_coverage_gate(self, fig6_profiled):
+        assert fig6_profiled.report["wall"]["coverage"] >= 0.95
+
+    def test_hotspots_sorted_by_self_time(self, fig6_profiled):
+        hotspots = fig6_profiled.report["hotspots"]
+        assert hotspots, "no span hotspots collected"
+        selfs = [h["self_sim"] for h in hotspots]
+        assert selfs == sorted(selfs, reverse=True)
+        assert all(h["name"] in SPAN_SUBSYSTEMS for h in hotspots)
+
+    def test_sites_summarised(self, fig6_profiled):
+        sites = fig6_profiled.report["sites"]
+        assert set(sites) == {"site0", "site1", "site2"}
+        for row in sites.values():
+            assert "av_level" in row and "sync_backlog" in row
+
+    def test_report_is_json_ready(self, fig6_profiled):
+        encoded = json.dumps(fig6_profiled.report, sort_keys=True)
+        assert json.loads(encoded)["experiment"] == "fig6"
+
+    def test_deterministic_across_runs(self, fig6_profiled):
+        again = run_profiled("fig6", small=True)
+        assert again.digest == fig6_profiled.digest
+        assert again.flame == fig6_profiled.flame
+        assert (
+            again.report["span_rollups"]
+            == fig6_profiled.report["span_rollups"]
+        )
+        first_events = {
+            name: row["events"]
+            for name, row in fig6_profiled.report["subsystems"].items()
+        }
+        again_events = {
+            name: row["events"]
+            for name, row in again.report["subsystems"].items()
+        }
+        assert first_events == again_events
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_profiled("bogus")
+
+    def test_table1_includes_correspondences(self):
+        run = run_profiled("table1", n_updates=60)
+        for row in run.report["sites"].values():
+            assert "correspondences" in row
+
+    def test_chaos_profiled_run(self):
+        run = run_profiled("chaos", small=True, n_updates=40)
+        assert run.report["experiment"] == "chaos"
+        assert len(run.span_groups) == 3  # one recorder per small scenario
+        assert run.report["events_processed"] > 0
+        assert isinstance(run, ProfiledRun)
+
+
+class TestSpanRollups:
+    def _recorder(self):
+        rec = SpanRecorder()
+        root = rec.start("update", "site1", 0.0)
+        child = rec.start("av.request", "site1", 1.0, parent=root)
+        child.finish(4.0)
+        root.finish(10.0)
+        lone = rec.start("sync.pass", "site0", 2.0)
+        lone.finish(2.5)
+        return rec
+
+    def test_self_time_excludes_children(self):
+        rollup = span_rollups(self._recorder())
+        assert rollup["update"]["cum_sim"] == 10.0
+        assert rollup["update"]["self_sim"] == 7.0  # 10 - 3 (child)
+        assert rollup["av.request"]["self_sim"] == 3.0
+        assert rollup["sync.pass"]["subsystem"] == "sync"
+
+    def test_collapsed_stacks_nest_and_scale(self):
+        lines = collapsed_stacks(self._recorder())
+        assert "site1;update 7000" in lines
+        assert "site1;update;av.request 3000" in lines
+        assert "site0;sync.pass 500" in lines
+        assert lines == sorted(lines)
+
+    def test_zero_self_time_spans_skipped(self):
+        rec = SpanRecorder()
+        span = rec.start("update", "s", 1.0)
+        span.finish(1.0)
+        assert collapsed_stacks(rec) == []
+
+    def test_write_collapsed_stacks(self, tmp_path):
+        path = tmp_path / "flame.txt"
+        count = write_collapsed_stacks(str(path), self._recorder())
+        assert count == 3
+        assert len(path.read_text().splitlines()) == 3
+
+    def test_chrome_trace_enriched_with_subsystem(self, tmp_path):
+        events = profiled_chrome_trace(self._recorder())
+        complete = [e for e in events if e.get("ph") == "X"]
+        assert complete
+        assert all("subsystem" in e["args"] for e in complete)
+        by_name = {e["name"]: e["cat"] for e in complete}
+        assert by_name["update"] == "av"
+        assert by_name["sync.pass"] == "sync"
+        path = tmp_path / "trace.json"
+        document = write_profiled_chrome_trace(str(path), self._recorder())
+        assert json.loads(path.read_text()) == document
