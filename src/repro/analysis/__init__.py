@@ -9,6 +9,11 @@ Three parts (see ``docs/analysis.md``):
 * the **static lint pass** (:mod:`repro.analysis.lint`) enforces
   repo-specific determinism and instrumentation rules over the source
   tree — run with ``python -m repro.analysis.lint src tests``;
+* the **protocol-flow analyzer** (:mod:`repro.analysis.protoflow`)
+  checks the whole tree against the declared message registry
+  (:mod:`repro.net.protocol`) — run with
+  ``python -m repro.analysis.protoflow src`` or, together with lint in
+  one parse, ``python -m repro check --static``;
 * executable **sequence diagrams** from live traces
   (:mod:`repro.analysis.sequence`).
 """

@@ -9,8 +9,19 @@ from repro.analysis.lint.visitor import FileContext, LintFinding, Linter, Rule
 
 
 def lint_paths(paths) -> list:
-    """Run the default rule set over ``paths`` (files or directories)."""
-    return Linter(default_rules()).run(paths)
+    """Run the default rule set over ``paths`` (files or directories).
+
+    Delegates to the shared protoflow engine
+    (:func:`repro.analysis.protoflow.ir.index_project`) so lint shares
+    its single parse of the tree with the flow checks; ``flow_paths=()``
+    keeps this a lint-only pass. :class:`Linter` remains as the
+    standalone fallback engine (and the benchmark baseline in
+    ``benchmarks/bench_lint_perf.py``).
+    """
+    from repro.analysis.protoflow.ir import index_project
+
+    findings, _ir = index_project(paths, rules=default_rules(), flow_paths=())
+    return findings
 
 
 __all__ = [

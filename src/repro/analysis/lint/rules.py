@@ -8,9 +8,6 @@ arguments lean on (see ``docs/analysis.md``):
   :class:`~repro.sim.rng.RngRegistry` streams, never from the host.
 * ``unordered-iter`` — determinism: iterating a set directly makes event
   order depend on hash seeds; wrap in ``sorted(...)``.
-* ``message-handlers`` — liveness: a constructed message kind nobody
-  registered a handler for raises ``LookupError`` at delivery time; the
-  lint finds it before a run does.
 * ``span-coverage`` — observability: public protocol entry points must
   route through the span recorder so sanitizer findings can always name
   a span.
@@ -19,20 +16,19 @@ arguments lean on (see ``docs/analysis.md``):
   :data:`~repro.obs.profile.SPAN_SUBSYSTEMS` map, so new
   instrumentation can never silently fall outside the subsystem
   attribution (it would land in ``"other"`` and skew every dossier).
+
+The old per-file ``message-handlers`` rule was retired in favour of the
+whole-program registry checks in :mod:`repro.analysis.protoflow`
+(``proto-missing-handler`` and friends), which resolve dynamic kinds the
+per-file pass could not see.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, List, Set, Tuple
+from typing import List, Set, Tuple
 
-from repro.analysis.lint.visitor import (
-    FileContext,
-    LintFinding,
-    Rule,
-    in_src,
-    in_tests_or_benchmarks,
-)
+from repro.analysis.lint.visitor import FileContext, Rule, in_src
 
 
 def dotted(expr: ast.AST) -> Tuple[str, ...]:
@@ -125,63 +121,6 @@ class UnorderedIterRule(Rule):
                 "iteration over a set — order depends on hashing; wrap in"
                 " sorted(...)",
             )
-
-
-class MessageHandlerRule(Rule):
-    """Every constant message kind sent has a registered handler.
-
-    Registrations (``endpoint.on("kind", h)``) are collected from the
-    whole lint scope including tests; unhandled sends are only reported
-    from protocol source. ``*.reply`` kinds are synthesised by the
-    request/reply machinery and never need explicit handlers.
-    """
-
-    name = "message-handlers"
-    nodes = (ast.Call,)
-
-    def __init__(self) -> None:
-        self.registered: Set[str] = set()
-        #: (path, line, col, kind) for every src send site
-        self.pending: List[Tuple[str, int, int, str]] = []
-
-    @staticmethod
-    def _const_str(node: ast.AST):
-        if isinstance(node, ast.Constant) and isinstance(node.value, str):
-            return node.value
-        return None
-
-    def check(self, node: ast.Call, ctx: FileContext) -> None:
-        if not isinstance(node.func, ast.Attribute):
-            return
-        attr = node.func.attr
-        if attr == "on" and node.args:
-            kind = self._const_str(node.args[0])
-            if kind is not None:
-                self.registered.add(kind)
-        elif attr in ("send", "request") and len(node.args) >= 2:
-            kind = self._const_str(node.args[1])
-            if kind is None or kind.endswith(".reply"):
-                return
-            if in_tests_or_benchmarks(ctx.path):
-                return
-            if ctx.suppressed(node.lineno, self.name):
-                return
-            self.pending.append(
-                (ctx.path, node.lineno, node.col_offset, kind)
-            )
-
-    def finish(self) -> List[LintFinding]:
-        return [
-            LintFinding(
-                rule=self.name, path=path, line=line, col=col,
-                message=(
-                    f"message kind {kind!r} is sent but no .on({kind!r}, …)"
-                    " handler is registered anywhere in the lint scope"
-                ),
-            )
-            for path, line, col, kind in self.pending
-            if kind not in self.registered
-        ]
 
 
 class SpanCoverageRule(Rule):
@@ -296,7 +235,6 @@ def default_rules() -> List[Rule]:
         WallClockRule(),
         SeededRngRule(),
         UnorderedIterRule(),
-        MessageHandlerRule(),
         SpanCoverageRule(),
         SpanKindRegistryRule(),
     ]

@@ -48,11 +48,16 @@ class FileContext:
         self.findings: List[LintFinding] = []
         #: line number -> set of rule names disabled on that line
         self.suppressions: Dict[int, Set[str]] = {}
-        for lineno, text in enumerate(source.splitlines(), start=1):
-            match = SUPPRESS_RE.search(text)
-            if match:
-                names = {n.strip() for n in match.group(1).split(",")}
-                self.suppressions[lineno] = {n for n in names if n}
+        # fast path: one C-level scan decides whether the per-line regex
+        # pass is needed at all (almost every file has no suppressions)
+        if "repro-lint" in source:
+            for lineno, text in enumerate(source.splitlines(), start=1):
+                if "repro-lint" not in text:
+                    continue
+                match = SUPPRESS_RE.search(text)
+                if match:
+                    names = {n.strip() for n in match.group(1).split(",")}
+                    self.suppressions[lineno] = {n for n in names if n}
 
     def suppressed(self, line: int, rule: str) -> bool:
         disabled = self.suppressions.get(line, ())

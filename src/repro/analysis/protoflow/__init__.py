@@ -1,0 +1,77 @@
+"""protoflow: whole-program protocol-flow analysis.
+
+The package turns the declarative registry in :mod:`repro.net.protocol`
+into a machine-checked contract. One parse of the source tree builds a
+shared project IR (:mod:`~repro.analysis.protoflow.ir`) — send sites,
+handler registrations, payload constructions, lock sequences,
+nondeterminism taint — and the flow checks
+(:mod:`~repro.analysis.protoflow.checks`) run over it:
+
+* ``proto-unregistered-kind`` — every constructed message kind is
+  declared (f-string/concatenated kinds resolved symbolically, variable
+  kinds resolved by interprocedural constant propagation);
+* ``proto-missing-handler`` / ``proto-unsent-kind`` — every declared
+  kind has both a sender and a registered handler;
+* ``proto-payload-drift`` — send-site keys, handler reads, handler
+  reply dicts and request-site reply reads all agree with the registry;
+* ``proto-unpaired-request`` — request-class kinds have a reachable
+  reply path, and fault-aware kinds a timeout-guarded send site;
+* ``proto-lock-cycle`` — the static lock-order graph is acyclic;
+* ``proto-taint`` — no wall-clock / unseeded-rng / unordered-set values
+  flow into message payloads.
+
+The same engine drives the per-file lint rules
+(:func:`repro.analysis.lint.lint_paths` delegates here), so the whole
+static suite is one parse of the tree. CLI::
+
+    PYTHONPATH=src python -m repro.analysis.protoflow src
+
+and ``python -m repro check --static`` runs lint + protoflow together.
+Suppressions reuse the lint syntax (``# repro-lint: disable=proto-taint
+(why)``); known findings can also be carried in a committed baseline
+file (``protoflow-baseline.json``).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.protoflow.checks import ProtoFinding, run_checks
+from repro.analysis.protoflow.ir import ProjectIR, index_project
+from repro.analysis.protoflow.report import (
+    apply_baseline,
+    load_baseline,
+    render_json,
+    render_text,
+)
+
+
+def analyze(paths, registry=None, rules=()):
+    """Run the flow checks over ``paths``; returns post-suppression findings.
+
+    ``registry`` defaults to the full accelerator protocol
+    (:data:`repro.net.protocol.PROTOCOL`). ``rules`` optionally adds
+    lint rules to the same single-parse pass (their findings are
+    returned too, interleaved by location).
+    """
+    if registry is None:
+        from repro.net.protocol import PROTOCOL
+
+        registry = PROTOCOL
+    lint_findings, ir = index_project(paths, rules=rules)
+    flow_findings = run_checks(ir, registry)
+    return sorted(
+        [*lint_findings, *flow_findings],
+        key=lambda f: (f.path, f.line, f.col, f.rule),
+    )
+
+
+__all__ = [
+    "ProjectIR",
+    "ProtoFinding",
+    "analyze",
+    "apply_baseline",
+    "index_project",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "run_checks",
+]

@@ -1,0 +1,84 @@
+"""CLI: ``python -m repro.analysis.protoflow [paths] [--json] [--baseline F]``.
+
+Exit status 1 when any unsuppressed, un-baselined finding remains.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.protoflow.checks import run_checks
+from repro.analysis.protoflow.ir import index_project
+from repro.analysis.protoflow.report import (
+    apply_baseline,
+    load_baseline,
+    render_json,
+    render_text,
+    write_baseline,
+)
+from repro.net.protocol import PROTOCOL
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.protoflow",
+        description="Whole-program protocol-flow analysis against the "
+        "declared message registry (repro.net.protocol).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="baseline file of known findings (default: "
+        "./protoflow-baseline.json when present)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline file from current findings and exit 0",
+    )
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()  # repro-lint: disable=wall-clock (host timing of the analyzer itself, not simulation)
+    _, ir = index_project(args.paths)
+    findings = run_checks(ir, PROTOCOL)
+    elapsed = time.perf_counter() - started  # repro-lint: disable=wall-clock (host timing of the analyzer itself, not simulation)
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        default = Path("protoflow-baseline.json")
+        if default.exists():
+            baseline_path = str(default)
+
+    if args.update_baseline:
+        target = baseline_path or "protoflow-baseline.json"
+        write_baseline(findings, target)
+        print(f"wrote {len(findings)} finding(s) to {target}")
+        return 0
+
+    if baseline_path is not None:
+        findings = apply_baseline(findings, load_baseline(baseline_path))
+
+    if args.json:
+        print(render_json(findings))
+    elif findings:
+        print(render_text(findings))
+
+    if not args.json:
+        print(
+            f"protoflow: {len(findings)} finding(s), "
+            f"{len(ir.files)} file(s), {elapsed:.2f}s",
+            file=sys.stderr,
+        )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Reporters and the committed-baseline mechanism for protoflow.
+
+The baseline file (``protoflow-baseline.json`` at the repo root) lists
+known findings by ``(rule, path, symbol)`` — deliberately *not* by line
+number, so unrelated edits that shift lines never invalidate it. The
+repo's own baseline is empty: all drift the analyzer surfaced was fixed
+in source, and CI keeps it that way.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.analysis.protoflow.checks import ProtoFinding
+
+BASELINE_VERSION = 1
+
+
+def render_text(findings: Sequence) -> str:
+    """One ``path:line:col: rule: message`` line per finding."""
+    return "\n".join(f.render() for f in findings)
+
+
+def render_json(findings: Sequence) -> str:
+    """Stable JSON for tooling: ``{"version": 1, "findings": [...]}``."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "symbol": getattr(f, "symbol", ""),
+                "message": f.message,
+            }
+            for f in findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def load_baseline(path) -> Set[Tuple[str, str, str]]:
+    """Read a baseline file into a set of ``(rule, path, symbol)`` keys."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {data.get('version')!r} in {path}"
+        )
+    keys = set()
+    for entry in data.get("findings", ()):
+        keys.add((entry["rule"], entry["path"], entry.get("symbol", "")))
+    return keys
+
+
+def apply_baseline(
+    findings: Iterable[ProtoFinding], baseline: Set[Tuple[str, str, str]]
+) -> List[ProtoFinding]:
+    """Drop findings whose key appears in ``baseline``."""
+    return [f for f in findings if f.key not in baseline]
+
+
+def write_baseline(findings: Iterable[ProtoFinding], path) -> None:
+    """Snapshot current findings as the new baseline (``--update-baseline``)."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": sorted(
+            (
+                {"rule": f.rule, "path": f.path, "symbol": f.symbol}
+                for f in findings
+            ),
+            key=lambda e: (e["rule"], e["path"], e["symbol"]),
+        ),
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

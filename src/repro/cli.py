@@ -161,6 +161,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
+    if args.static:
+        return _static_check()
+    if args.experiment is None:
+        print("check: an experiment is required unless --static is given")
+        return 2
     from repro.analysis import run_check
 
     updates = args.updates
@@ -174,6 +179,43 @@ def _cmd_check(args: argparse.Namespace) -> int:
     )
     print(run.render())
     return 0 if run.ok else 1
+
+
+def _static_check() -> int:
+    """The whole static suite in one parse: lint rules + protoflow.
+
+    Lint covers ``src`` and ``tests``; the protocol-flow checks cover
+    ``src`` only (fixtures under ``tests/`` plant deliberate protocol
+    defects). Honours a committed ``protoflow-baseline.json`` when one
+    exists in the working directory.
+    """
+    from pathlib import Path
+
+    from repro.analysis.lint import default_rules
+    from repro.analysis.protoflow import run_checks
+    from repro.analysis.protoflow.ir import index_project
+    from repro.analysis.protoflow.report import apply_baseline, load_baseline
+    from repro.net.protocol import PROTOCOL
+
+    lint_findings, ir = index_project(
+        ["src", "tests"], rules=default_rules(), flow_paths=["src"]
+    )
+    flow_findings = run_checks(ir, PROTOCOL)
+    baseline = Path("protoflow-baseline.json")
+    if baseline.exists():
+        flow_findings = apply_baseline(flow_findings, load_baseline(baseline))
+    findings = sorted(
+        [*lint_findings, *flow_findings],
+        key=lambda f: (f.path, f.line, f.col, f.rule),
+    )
+    for finding in findings:
+        print(finding.render())
+    print(
+        f"static check: {len(findings)} finding(s)"
+        f" ({len(lint_findings)} lint, {len(flow_findings)} protocol-flow,"
+        f" {len(ir.files)} protocol file(s))"
+    )
+    return 1 if findings else 0
 
 
 def _cmd_ablations(args: argparse.Namespace) -> int:
@@ -521,11 +563,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "check",
-        help="replay an experiment under the runtime protocol sanitizer",
+        help="replay an experiment under the runtime protocol sanitizer,"
+        " or run the static suite with --static",
     )
     p.add_argument(
-        "experiment", choices=["fig6", "table1"],
-        help="whose workload to replay",
+        "experiment", choices=["fig6", "table1"], nargs="?", default=None,
+        help="whose workload to replay (omit with --static)",
+    )
+    p.add_argument(
+        "--static", action="store_true",
+        help="run the static suite instead: lint rules + protocol-flow"
+        " analysis in one parse (honours protoflow-baseline.json)",
     )
     p.add_argument("--updates", type=int, default=1000,
                    help="total updates to issue (default 1000)")

@@ -33,8 +33,9 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.site import Site
 
 #: message tag for rejoin control traffic (flush/catalog round-trips);
-#: never counted as update traffic.
-TAG_REJOIN = "rejoin"
+#: never counted as update traffic. Canonically declared in the
+#: protocol registry.
+from repro.net.protocol import TAG_REJOIN  # noqa: F401
 
 #: bounded attempts for each flush/catalog request — a peer that stays
 #: silent is skipped (its balances arrive when *it* next syncs/rejoins)
@@ -90,9 +91,14 @@ def rejoin(site: "Site"):
         for peer in sorted(accel.live_peers()):
             for _attempt in range(FLUSH_ATTEMPTS):
                 try:
-                    yield accel.endpoint.request(
+                    flushed = yield accel.endpoint.request(
                         peer, "prop.flush", {}, tag=TAG_REJOIN, timeout=timeout
                     )
+                    if flushed["pushed"]:
+                        accel.trace(
+                            "rejoin.flush",
+                            f"{peer} replayed {flushed['pushed']} update(s)",
+                        )
                     break
                 except RequestTimeout:
                     continue

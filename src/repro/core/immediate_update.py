@@ -298,7 +298,7 @@ class ImmediateUpdateProtocol:
         lock_span.finish(accel.now)
         if accel.store.value(item) + delta < 0:
             accel.locks.release(item, token)
-            return {"ready": False, "reason": "negative"}
+            return {"ready": False}
         txn = accel.txns.begin()
         txn.apply(item, delta)
         self._pending[token] = (txn, item)
@@ -347,7 +347,7 @@ class ImmediateUpdateProtocol:
                 txn.abort()
             accel.locks.release(item, token)
         apply_span.finish(accel.now, applied=entry is not None)
-        return {"done": True, "site": accel.site}
+        return {"done": True}
 
     # Pure read of the decision log — nothing timed happens, so a span
     # would only add noise to traces.

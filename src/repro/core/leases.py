@@ -44,8 +44,9 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.net.reliable import ReliabilityParams
 
 #: message tag for lease control traffic (acks, probes); never counted
-#: as update traffic — Fig. 6's accounting must not change.
-TAG_LEASE = "lease"
+#: as update traffic — Fig. 6's accounting must not change. Canonically
+#: declared in the protocol registry.
+from repro.net.protocol import TAG_LEASE  # noqa: F401
 
 
 @dataclass(frozen=True)

@@ -32,8 +32,9 @@ from repro.db.locks import LockMode
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.accelerator import Accelerator
 
-#: message tag for reconciled-read traffic
-TAG_READ = "read"
+#: message tag for reconciled-read traffic; canonically declared in the
+#: protocol registry
+from repro.net.protocol import TAG_READ  # noqa: F401
 
 
 class ReadConsistency(enum.Enum):

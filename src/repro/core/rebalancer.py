@@ -21,8 +21,9 @@ from typing import TYPE_CHECKING, Optional
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.accelerator import Accelerator
 
-#: message tag for proactive rebalancing traffic
-TAG_REBALANCE = "rebal"
+#: message tag for proactive rebalancing traffic; canonically declared
+#: in the protocol registry
+from repro.net.protocol import TAG_REBALANCE  # noqa: F401
 
 
 class AVRebalancer:

@@ -39,8 +39,9 @@ from repro.db.locks import LockMode
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.accelerator import Accelerator
 
-#: message tag for reclassification traffic
-TAG_RECLASS = "cls"
+#: message tag for reclassification traffic; canonically declared in
+#: the protocol registry
+from repro.net.protocol import TAG_RECLASS  # noqa: F401
 
 
 class ReclassificationError(CoreError):

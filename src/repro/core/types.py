@@ -7,11 +7,14 @@ from dataclasses import dataclass, field
 from itertools import count
 from typing import Optional
 
-#: message-tag constants used for correspondence accounting
-TAG_AV = "av"            #: AV transfer traffic (Delay Update coordination)
-TAG_IMMEDIATE = "imm"    #: Immediate Update (primary-copy 2PC) traffic
-TAG_PROPAGATE = "prop"   #: asynchronous replica propagation
-TAG_CENTRAL = "central"  #: conventional centralized baseline traffic
+#: message-tag constants used for correspondence accounting; canonically
+#: declared in the protocol registry, re-exported here for back-compat
+from repro.net.protocol import (  # noqa: F401
+    TAG_AV,
+    TAG_CENTRAL,
+    TAG_IMMEDIATE,
+    TAG_PROPAGATE,
+)
 
 #: tags that constitute "correspondences for update" in the paper's sense:
 #: messages required to *complete* an update (Fig. 6 counts these).

@@ -50,7 +50,8 @@ from repro.sim.process import Process
 
 #: tag for session control traffic (probes); never counted as update
 #: traffic — Fig. 6's accounting must not change when reliability is on.
-TAG_RELIABLE = "rel"
+#: Canonically declared in the protocol registry.
+from repro.net.protocol import TAG_RELIABLE  # noqa: F401
 
 
 @dataclass(frozen=True)

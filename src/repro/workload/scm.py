@@ -24,8 +24,9 @@ from repro.cluster.system import DistributedSystem
 from repro.core.types import UpdateOutcome
 
 
-#: business-level message tag (replenishment orders retailer -> maker)
-TAG_SCM = "scm"
+#: business-level message tag (replenishment orders retailer -> maker);
+#: canonically declared in the protocol registry
+from repro.net.protocol import TAG_SCM  # noqa: F401
 
 
 @dataclass

@@ -1,0 +1,16 @@
+"""Planted defect: two code paths acquire the same two locks in
+opposite orders — the classic static deadlock shape."""
+
+
+def forward(locks, token):
+    yield locks.acquire("alpha", token)
+    yield locks.acquire("beta", token)
+    locks.release("beta", token)
+    locks.release("alpha", token)
+
+
+def backward(locks, token):
+    yield locks.acquire("beta", token)
+    yield locks.acquire("alpha", token)
+    locks.release("alpha", token)
+    locks.release("beta", token)

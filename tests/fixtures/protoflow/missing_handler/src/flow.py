@@ -1,0 +1,6 @@
+"""Planted defect: "zz.ping" is declared and sent, but nothing ever
+registers a handler for it — delivery would raise LookupError."""
+
+
+def ping(endpoint, peer, item):
+    endpoint.send(peer, "zz.ping", {"item": item})

@@ -1,0 +1,18 @@
+"""Planted defect: the send site writes a key the registry does not
+declare, and the handler reads a key nobody sends."""
+
+
+def put(endpoint, peer, item):
+    endpoint.send(peer, "zz.put", {"item": item, "extra": 1})
+
+
+def handle_put(msg):
+    store(msg.payload["item"], msg.payload["other"])
+
+
+def store(item, other):
+    del item, other
+
+
+def register(endpoint):
+    endpoint.on("zz.put", handle_put)

@@ -1,0 +1,17 @@
+"""Planted defect: a host-clock reading flows into a message payload,
+making message contents schedule-dependent."""
+
+import time
+
+
+def observe(endpoint, peer):
+    payload = {"t": time.time()}  # repro-lint: disable=wall-clock (fixture: planted protoflow taint, not simulation code)
+    endpoint.send(peer, "zz.obs", payload)
+
+
+def handle_obs(msg):
+    msg.payload["t"]
+
+
+def register(endpoint):
+    endpoint.on("zz.obs", handle_obs)

@@ -1,0 +1,15 @@
+"""Planted defect: "zz.ask" is a fault-aware request kind, but the
+handler never returns a reply value and the only send site passes no
+timeout (and nothing in this tree builds a *.reply message)."""
+
+
+def ask(endpoint, peer, item):
+    yield endpoint.request(peer, "zz.ask", {"item": item})
+
+
+def handle_ask(msg):
+    msg.payload["item"]
+
+
+def register(endpoint):
+    endpoint.on("zz.ask", handle_ask)

@@ -1,0 +1,5 @@
+"""Planted defect: sends a message kind the registry never declared."""
+
+
+def announce(endpoint, peer, item):
+    endpoint.send(peer, "zz.mystery", {"item": item})

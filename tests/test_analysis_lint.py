@@ -93,39 +93,9 @@ class TestUnorderedIter:
             """) == []
 
 
-class TestMessageHandlers:
-    def test_unregistered_kind_flagged(self, tmp_path):
-        findings = lint_source(tmp_path, """\
-            def ping(endpoint):
-                endpoint.send("peer", "zz.unhandled", {})
-            """)
-        assert rules_hit(findings) == ["message-handlers"]
-        assert "zz.unhandled" in findings[0].message
-
-    def test_registration_anywhere_in_scope_satisfies(self, tmp_path):
-        (tmp_path / "tests").mkdir()
-        (tmp_path / "tests" / "test_x.py").write_text(textwrap.dedent("""\
-            def setup(endpoint):
-                endpoint.on("zz.handled", lambda m: None)
-            """))
-        findings = lint_source(tmp_path, """\
-            def ping(endpoint):
-                endpoint.send("peer", "zz.handled", {})
-                endpoint.request("peer", "zz.handled", {})
-            """)
-        assert findings == []
-
-    def test_reply_kinds_exempt(self, tmp_path):
-        assert lint_source(tmp_path, """\
-            def pong(endpoint):
-                endpoint.send("peer", "zz.ask.reply", {})
-            """) == []
-
-    def test_dynamic_kinds_ignored(self, tmp_path):
-        assert lint_source(tmp_path, """\
-            def fwd(endpoint, kind):
-                endpoint.send("peer", kind, {})
-            """) == []
+# The per-file ``message-handlers`` rule was retired: the registry
+# checks in repro.analysis.protoflow subsume it (and resolve dynamic
+# kinds it could not). See tests/test_analysis_protoflow.py.
 
 
 class TestSpanCoverage:
@@ -253,6 +223,30 @@ class TestFramework:
         f.write_text("import time\nt = time.time()\n")
         findings = Linter(default_rules()).run([str(f)])
         assert rules_hit(findings) == ["wall-clock"]
+
+    def test_message_handlers_rule_retired(self):
+        # Subsumed by protoflow's registry checks (proto-missing-handler
+        # and friends); keeping both would double-report.
+        assert "message-handlers" not in {r.name for r in default_rules()}
+
+    def test_legacy_engine_agrees_with_shared_engine(self, tmp_path):
+        """Linter (per-file fallback) and index_project (shared parse)
+        produce identical findings over the same tree."""
+        target = tmp_path / "src" / "mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(textwrap.dedent("""\
+            import time
+
+            def stamp():
+                return time.time()
+
+            def dedupe(xs):
+                return [x for x in set(xs)]
+            """))
+        legacy = Linter(default_rules()).run([str(tmp_path)])
+        shared = lint_paths([str(tmp_path)])
+        assert [f.render() for f in legacy] == [f.render() for f in shared]
+        assert rules_hit(shared) == ["unordered-iter", "wall-clock"]
 
     def test_repo_tree_is_lint_clean(self):
         """The gate CI enforces: the shipped tree has zero findings."""
