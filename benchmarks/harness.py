@@ -427,6 +427,16 @@ def main(argv=None) -> int:
                 f"{grid}: trajectory verdict is 'regression'"
                 f" ({render_verdict(verdict)})"
             )
+        if args.check_baseline and verdict["verdict"] == "no-data":
+            # A gate that silently passes because it found nothing to
+            # compare against is not a gate. Fail loudly: commit a
+            # BENCH_<label>.json baseline or HISTORY.jsonl entries.
+            failures.append(
+                f"{grid}: trajectory verdict is 'no-data' — no committed"
+                " baseline and no HISTORY.jsonl entries for this grid;"
+                " the regression gate cannot run. Commit a baseline"
+                " (python benchmarks/harness.py --small) first."
+            )
         if not args.no_write:
             append_history(report)
 

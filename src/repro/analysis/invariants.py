@@ -23,6 +23,12 @@ Three independent auditors, each fed by the sanitizer's hooks:
   and checks that each transaction token acquires site locks in the
   canonical ascending site order (the total-order rule Immediate Update
   relies on for deadlock freedom).
+* :class:`OverloadAudit` — lifecycle soundness of the graceful-
+  degradation layer (``ovl.*`` events): every state transition must be
+  a legal edge of the degradation ring, every shed must carry a
+  positive retry-after hint, and demotion/promotion must alternate per
+  (site, item) — a double demotion or an unowed promotion means the
+  controller's ledger of owed re-promotions is corrupt.
 """
 
 from __future__ import annotations
@@ -299,6 +305,112 @@ class LeaseAudit:
                     f"lease #{lease_id} of {amount:g} to {holder} opened"
                     f" t={opened_at:g} unresolved at teardown"
                     " (undrained run?)"
+                ),
+            ))
+
+
+class OverloadAudit:
+    """Structural audit of the overload layer's lifecycle events.
+
+    Fed from the ``ovl.*`` obs events the
+    :class:`~repro.core.overload.OverloadController` emits. The legal
+    transition set is imported from the controller module so the audit
+    can never drift from the state machine it checks.
+    """
+
+    def __init__(self, report: SanitizerReport) -> None:
+        from repro.core.overload import ALLOWED_TRANSITIONS
+
+        self.report = report
+        self.legal = {(a.value, b.value) for a, b in ALLOWED_TRANSITIONS}
+        #: (site, item) pairs currently demoted (awaiting re-promotion)
+        self.demoted: set = set()
+        #: last broadcast state per site
+        self.last_state: Dict[str, str] = {}
+        self.sheds = 0
+        self.demotions = 0
+        self.promotions = 0
+        self.transitions = 0
+        self.trips = 0
+        self.events = 0
+
+    def on_shed(self, site: str, retry_after: float, now: float) -> None:
+        self.events += 1
+        self.sheds += 1
+        if retry_after <= 0:
+            self.report.violations.append(Violation(
+                rule="overload.shed-no-retry",
+                site=site,
+                time=now,
+                detail=(
+                    f"shed with retry_after={retry_after:g} — callers"
+                    " cannot back off without a positive hint"
+                ),
+            ))
+
+    def on_transition(self, site: str, src: str, dst: str, now: float) -> None:
+        self.events += 1
+        self.transitions += 1
+        self.last_state[site] = dst
+        if (src, dst) not in self.legal:
+            self.report.violations.append(Violation(
+                rule="overload.illegal-transition",
+                site=site,
+                time=now,
+                detail=(
+                    f"degradation edge {src} -> {dst} is outside the"
+                    " allowed ring"
+                ),
+            ))
+
+    def on_demote(self, site: str, item: str, now: float) -> None:
+        self.events += 1
+        key = (site, item)
+        if key in self.demoted:
+            self.report.violations.append(Violation(
+                rule="overload.demote-twice",
+                item=item,
+                site=site,
+                time=now,
+                detail=(
+                    "item demoted again without an intervening promotion"
+                    " — the AV split would be installed twice"
+                ),
+            ))
+            return
+        self.demoted.add(key)
+        self.demotions += 1
+
+    def on_promote(self, site: str, item: str, now: float) -> None:
+        self.events += 1
+        key = (site, item)
+        if key not in self.demoted:
+            self.report.violations.append(Violation(
+                rule="overload.promote-unowed",
+                item=item,
+                site=site,
+                time=now,
+                detail="promotion of an item this site never demoted",
+            ))
+            return
+        self.demoted.discard(key)
+        self.promotions += 1
+
+    def on_trip(self, site: str, now: float) -> None:
+        self.events += 1
+        self.trips += 1
+
+    def finish(self, now: float) -> None:
+        for site, item in sorted(self.demoted):
+            self.report.warnings.append(Violation(
+                rule="overload.demotion-unreverted",
+                item=item,
+                site=site,
+                time=now,
+                severity="warning",
+                detail=(
+                    "item still demoted at teardown — the owed"
+                    " re-promotion never ran (undrained run?)"
                 ),
             ))
 

@@ -16,6 +16,14 @@ arguments lean on (see ``docs/analysis.md``):
   :data:`~repro.obs.profile.SPAN_SUBSYSTEMS` map, so new
   instrumentation can never silently fall outside the subsystem
   attribution (it would land in ``"other"`` and skew every dossier).
+* ``unbounded-queue`` — overload robustness: message-queue/backlog
+  state in ``src/`` must grow under a budget. A surge workload turns
+  any unbounded ``.append`` into silent memory growth and unbounded
+  latency, which is exactly what the admission layer exists to
+  prevent — so a queue-named attribute may only be appended to in a
+  scope that also checks a budget, and ``deque()`` must be given a
+  ``maxlen`` (or carry a justified suppression naming the external
+  bound).
 
 The old per-file ``message-handlers`` rule was retired in favour of the
 whole-program registry checks in :mod:`repro.analysis.protoflow`
@@ -229,6 +237,104 @@ class SpanKindRegistryRule(Rule):
         )
 
 
+class UnboundedQueueRule(Rule):
+    """Queue/backlog growth in src/ must happen under a budget.
+
+    Two patterns are flagged:
+
+    * ``deque(...)`` constructed without a ``maxlen`` keyword;
+    * ``.append(...)`` on an attribute whose name says *queue* —
+      ``queue``, ``backlog``, ``pending``, ``inbox``, ``mailbox``,
+      ``buffer`` — in a function scope that shows no budget evidence
+      (no ``len(...)`` comparison and no ``budget``/``maxlen``/
+      ``limit``/``bound`` identifier).
+
+    The check is a heuristic, deliberately biased toward firing: a
+    queue that really is bounded elsewhere (drained every step by the
+    kernel, capped at admission by the overload layer) gets a
+    ``# repro-lint: disable=unbounded-queue (why it is bounded)``
+    suppression naming the external bound, which doubles as
+    documentation at the growth site.
+    """
+
+    name = "unbounded-queue"
+    nodes = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Call)
+
+    QUEUE_WORDS = ("queue", "backlog", "pending", "inbox", "mailbox", "buffer")
+    BUDGET_WORDS = ("budget", "maxlen", "limit", "bound")
+
+    def applies_to(self, path: str) -> bool:
+        return in_src(path)
+
+    @staticmethod
+    def _scope(fn: ast.AST):
+        """Own-scope nodes of ``fn``: stop at nested defs/classes."""
+        stack = list(ast.iter_child_nodes(fn))
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(
+                node,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+            ):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    @classmethod
+    def _queue_append(cls, node: ast.AST) -> bool:
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            return False
+        if node.func.attr != "append":
+            return False
+        target = dotted(node.func.value)[-1].lower()
+        return any(word in target for word in cls.QUEUE_WORDS)
+
+    @classmethod
+    def _budget_evidence(cls, node: ast.AST) -> bool:
+        if isinstance(node, ast.Compare):
+            return any(
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Name)
+                and sub.func.id == "len"
+                for sub in ast.walk(node)
+            )
+        name = ""
+        if isinstance(node, ast.Attribute):
+            name = node.attr
+        elif isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.keyword):
+            name = node.arg or ""
+        return any(word in name.lower() for word in cls.BUDGET_WORDS)
+
+    def check(self, node: ast.AST, ctx: FileContext) -> None:
+        if isinstance(node, ast.Call):
+            if dotted(node.func)[-1] != "deque":
+                return
+            if any(kw.arg == "maxlen" for kw in node.keywords):
+                return
+            ctx.report(
+                self.name, node,
+                "deque() without maxlen — give it a bound, or suppress"
+                " with a justification naming the external budget",
+            )
+            return
+        scope = list(self._scope(node))
+        appends = [n for n in scope if self._queue_append(n)]
+        if not appends:
+            return
+        if any(self._budget_evidence(n) for n in scope):
+            return
+        for call in appends:
+            target = ".".join(dotted(call.func.value))
+            ctx.report(
+                self.name, call,
+                f"append to {target!r} with no budget check in scope —"
+                " a surge grows this without bound; gate it on a budget"
+                " or suppress with the external bound named",
+            )
+
+
 def default_rules() -> List[Rule]:
     """Fresh instances of every repro lint rule."""
     return [
@@ -237,4 +343,5 @@ def default_rules() -> List[Rule]:
         UnorderedIterRule(),
         SpanCoverageRule(),
         SpanKindRegistryRule(),
+        UnboundedQueueRule(),
     ]

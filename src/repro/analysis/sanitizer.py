@@ -39,6 +39,7 @@ from repro.analysis.invariants import (
     HoldRegistry,
     LeaseAudit,
     LockAudit,
+    OverloadAudit,
     SanitizerReport,
     Violation,
 )
@@ -55,6 +56,7 @@ class ProtocolSanitizer:
         self.holds = HoldRegistry(self.report)
         self.locks = LockAudit(self.report)
         self.leases = LeaseAudit(self.report)
+        self.overload = OverloadAudit(self.report)
         self.causal = CausalOrder(max_samples=max_hb_samples)
         #: drops of leased transfers (reverted, not lost) and of
         #: reliable-session messages (retransmitted) — counted non-events
@@ -324,6 +326,18 @@ class ProtocolSanitizer:
             self.leases.on_conflict(
                 fields["site"], fields["holder"], fields["lease"], now
             )
+        elif kind == "ovl.shed":
+            self.overload.on_shed(fields["site"], fields["retry_after"], now)
+        elif kind == "ovl.transition":
+            self.overload.on_transition(
+                fields["site"], fields["src"], fields["dst"], now
+            )
+        elif kind == "ovl.demote":
+            self.overload.on_demote(fields["site"], fields["item"], now)
+        elif kind == "ovl.promote":
+            self.overload.on_promote(fields["site"], fields["item"], now)
+        elif kind == "ovl.trip":
+            self.overload.on_trip(fields["site"], now)
 
     # ------------------------------------------------------------- #
     # teardown
@@ -339,6 +353,7 @@ class ProtocolSanitizer:
 
         self.holds.finish(now)
         self.leases.finish(now)
+        self.overload.finish(now)
         self._drift_audit(now)
         self._headroom_audit(now)
 
@@ -396,6 +411,17 @@ class ProtocolSanitizer:
             "lease_covered_drops": self.lease_covered_drops,
             "rel_covered_drops": self.rel_covered_drops,
         })
+        if self.overload.events:
+            # Only runs with the overload layer attached report these:
+            # adding keys unconditionally would perturb the rendered
+            # report (and thus the committed digests) of seed runs.
+            report.counters.update({
+                "overload_sheds": self.overload.sheds,
+                "overload_demotions": self.overload.demotions,
+                "overload_promotions": self.overload.promotions,
+                "overload_transitions": self.overload.transitions,
+                "overload_trips": self.overload.trips,
+            })
         return report
 
     def _drift_audit(self, now: float) -> None:

@@ -333,6 +333,45 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return _run_grid_sweep(args)
 
 
+#: grids below this task count run sequentially under ``--shards auto``:
+#: per-worker process start-up dominates and sharding is a slowdown
+#: (the committed benches measured a 0.726x "speedup" on the -small
+#: grids — see ROADMAP item 2)
+AUTO_SHARD_MIN_TASKS = 16
+
+
+def _shards_arg(value: str):
+    """``--shards`` value: a positive int, or ``auto``."""
+    if value == "auto":
+        return "auto"
+    try:
+        shards = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}"
+        )
+    if shards < 1:
+        raise argparse.ArgumentTypeError("shard count must be >= 1")
+    return shards
+
+
+def resolve_shards(spec, n_tasks: int) -> int:
+    """Concrete shard count for a sweep of ``n_tasks`` tasks.
+
+    ``auto`` picks sequential for small grids (results are
+    byte-identical for any shard count, so this is purely a wall-clock
+    decision) and otherwise caps fan-out at the smaller of the task
+    count and available cores.
+    """
+    if spec != "auto":
+        return int(spec)
+    if n_tasks < AUTO_SHARD_MIN_TASKS:
+        return 1
+    import os
+
+    return max(2, min(4, os.cpu_count() or 1, n_tasks))
+
+
 def _run_grid_sweep(args: argparse.Namespace) -> int:
     """Sharded seed × config grid sweep (see repro.perf)."""
     import time
@@ -346,10 +385,11 @@ def _run_grid_sweep(args: argparse.Namespace) -> int:
         replicates=args.replicates,
         check=args.check,
     )
+    shards = resolve_shards(args.shards, len(tasks))
     started = time.perf_counter()  # repro-lint: disable=wall-clock (host timing of the sweep harness, not simulation)
     sweep = run_sweep(
         tasks,
-        shards=args.shards,
+        shards=shards,
         grid=args.dimension,
         root_seed=args.seed,
         crash=None,
@@ -381,7 +421,7 @@ def _run_grid_sweep(args: argparse.Namespace) -> int:
             rows,
             title=(
                 f"Sweep {args.dimension} (root seed {args.seed},"
-                f" shards={args.shards}, retries={sweep.retries})"
+                f" shards={shards}, retries={sweep.retries})"
             ),
         )
     )
@@ -674,10 +714,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=0, help="root seed")
     p.add_argument(
-        "--shards", type=int, default=1,
+        "--shards", type=_shards_arg, default=1,
         help=(
-            "fan the grid across N worker processes (grid sweeps only;"
-            " results are byte-identical for any N)"
+            "fan the grid across N worker processes, or 'auto' to pick"
+            " sequential for small grids (grid sweeps only; results are"
+            " byte-identical for any N)"
         ),
     )
     p.add_argument(

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.core.overload import OverloadParams
 from repro.net.reliable import ReliabilityParams
 
 
@@ -75,6 +76,11 @@ class SystemConfig:
     #: behaviour; a ReliabilityParams turns on reliable propagation,
     #: AV grant leases, and rejoin-gated recovery at every site
     reliability: Optional[ReliabilityParams] = None
+    #: overload robustness layer (repro.core.overload): admission
+    #: control + backpressure budgets, a 2PC circuit breaker, and the
+    #: NORMAL→STRAINED→DEGRADED→RECOVERING degradation state machine.
+    #: ``None`` keeps the seed's unbounded behaviour byte-identical
+    overload: Optional[OverloadParams] = None
     #: TEST-ONLY: name of a deliberately broken protocol variant, used
     #: by the fuzz harness to validate that its oracles actually catch
     #: planted bugs. ``"av-double-grant"`` makes every grantor ship AV

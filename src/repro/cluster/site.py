@@ -110,6 +110,12 @@ class Site:
         report = recover(
             self.store, accel.txns.wal, now=self.env.now, exclude=in_doubt
         )
+        if accel.overload is not None:
+            # Our peer-degradation map is stale by a whole outage; ask
+            # every live peer where it stands before steering AV asks.
+            self.env.process(
+                accel.overload.probe_peers(), name=f"{self.name}.ovl.probe"
+            )
         if accel.reliability is not None:
             from repro.cluster.rejoin import rejoin
             from repro.sim.events import Event

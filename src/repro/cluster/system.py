@@ -138,6 +138,7 @@ class DistributedSystem:
                 allow_transfers=config.allow_transfers,
                 reliability=config.reliability,
                 inject=config.inject,
+                overload=config.overload,
             )
             role = SiteRole.MAKER if name == config.maker else SiteRole.RETAILER
             sites[name] = Site(endpoint, store, accel, role, collector)

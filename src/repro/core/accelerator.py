@@ -26,6 +26,7 @@ from repro.core.av_table import AVTable
 from repro.core.beliefs import BeliefTable
 from repro.core.delay_update import DelayUpdateProtocol
 from repro.core.immediate_update import ImmediateUpdateProtocol
+from repro.core.overload import OverloadParams
 from repro.core.policies import DecidingPolicy, Soda99Policy
 from repro.core.strategies import BelievedRichestStrategy, SelectionStrategy
 from repro.core.types import UpdateKind, UpdateRequest
@@ -93,6 +94,7 @@ class Accelerator:
         allow_transfers: bool = True,
         reliability: Optional[ReliabilityParams] = None,
         inject: str = "",
+        overload: Optional[OverloadParams] = None,
     ) -> None:
         self.endpoint = endpoint
         self.env = endpoint.env
@@ -150,6 +152,16 @@ class Accelerator:
         from repro.core.reads import ReadProtocol
 
         self.reads = ReadProtocol(self)
+
+        # Overload robustness layer (admission control, 2PC circuit
+        # breaker, degradation state machine). Wired after the protocols
+        # it instruments; None keeps every seed path byte-identical.
+        if overload is not None:
+            from repro.core.overload import OverloadController
+
+            self.overload = OverloadController(self, overload)
+        else:
+            self.overload = None
 
         #: counts by kind (diagnostics)
         self.updates_started = 0
@@ -255,6 +267,24 @@ class Accelerator:
         from repro.net.endpoint import CrashedEndpointError
         from repro.obs.spans import NULL_SPAN
 
+        ovl = self.overload
+        if ovl is not None:
+            # Admission control: over the inflight budget, the update is
+            # shed *now* — a typed rejection with a retry-after hint
+            # instead of one more queued process. Shedding happens
+            # before the rejoin gate so a recovering site cannot pile up
+            # an unbounded backlog behind it either.
+            retry = ovl.admit(self.env.now)
+            if retry is not None:
+                ovl.record_shed(self.env.now, retry)
+                return UpdateResult(
+                    request=req,
+                    kind=self.check(req.item),
+                    outcome=UpdateOutcome.SHED,
+                    finished_at=self.env.now,
+                    retry_after=retry,
+                )
+
         # A recovering site finishes its rejoin round (WAL replay,
         # anti-entropy with live peers) before accepting new updates;
         # re-check because a flapping site may re-enter rejoin.
@@ -279,6 +309,8 @@ class Accelerator:
         )
         kind = self.check(req.item)
         check_span.finish(self.env.now, verdict=kind.value)
+        if ovl is not None:
+            ovl.begin(self.env.now)
         try:
             if kind is UpdateKind.DELAY:
                 result = yield from self.delay.execute(req, span=root)
@@ -296,6 +328,9 @@ class Accelerator:
                 outcome=UpdateOutcome.FAILED,
                 finished_at=self.env.now,
             )
+        finally:
+            if ovl is not None:
+                ovl.end(self.env.now)
         root.finish(self.env.now, outcome=result.outcome.value)
         return result
 
@@ -358,6 +393,10 @@ class Accelerator:
         for peer in self.endpoint.peers():
             key = (peer, item)
             self._set_owed(key, self.owed.get(key, 0.0) + delta)
+        if self.overload is not None:
+            # Backpressure: an over-budget backlog is flushed inline
+            # instead of growing until the next scheduled sync pass.
+            self.overload.note_backlog(self.env.now)
 
     def owed_to(self, peer: str, item: str) -> float:
         """Net delta ``peer`` has not yet seen for ``item``."""

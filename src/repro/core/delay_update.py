@@ -158,8 +158,13 @@ class DelayUpdateProtocol:
             select_span = rec.start(
                 "av.selecting", accel.site, accel.now, parent=span
             )
+            candidates = accel.live_peers()
+            if accel.overload is not None:
+                # Steer the ask away from peers that broadcast DEGRADED
+                # (unless they are all we have left).
+                candidates = accel.overload.filter_peers(candidates)
             target = accel.strategy.select(
-                item, accel.live_peers(), frozenset(tried), accel.beliefs
+                item, candidates, frozenset(tried), accel.beliefs
             )
             select_span.finish(accel.now, target=target or "<none>")
             if target is not None:
@@ -288,6 +293,12 @@ class DelayUpdateProtocol:
             available=available, requested=requested,
         )
         granted = accel.policy.grant_amount(available, requested)
+        if accel.overload is not None:
+            # Under strain, widen the grant past the half-split policy:
+            # one round trip settles what repeat correspondence would.
+            widened = accel.overload.widened_grant(available, requested)
+            if widened is not None:
+                granted = widened
         decide_span.finish(accel.now, granted=granted)
         if granted > 0:
             if accel.inject != "av-double-grant":

@@ -81,6 +81,21 @@ class ImmediateUpdateProtocol:
         rec = accel.obs.recorder
         item, delta = req.item, req.delta
         token = f"imm:{req.request_id}:{req.site}"
+        ovl = accel.overload
+        if ovl is not None:
+            # Circuit breaker: while the 2PC path is tripped (repeated
+            # prepare timeouts), shed instead of queueing one more
+            # doomed coordination round. HALF_OPEN admits one probe.
+            allowed, retry_after = ovl.breaker_allow(accel.now)
+            if not allowed:
+                ovl.record_shed(accel.now, retry_after)
+                return UpdateResult(
+                    request=req,
+                    kind=UpdateKind.IMMEDIATE,
+                    outcome=UpdateOutcome.SHED,
+                    finished_at=accel.now,
+                    retry_after=retry_after,
+                )
         self.coordinated += 1
         # Visible to handle_status: "no decision YET" is answered as
         # "pending" (the participant must keep waiting), never as a
@@ -107,6 +122,16 @@ class ImmediateUpdateProtocol:
                     span_id=lock_span.span_id or None,
                 )
                 lock_span.finish(accel.now)
+                if ovl is not None and accel.av_table.defined(item):
+                    # The item was demoted to regular (overload
+                    # degradation) while we queued for the lock; a
+                    # global decrement now would double-count against
+                    # the AV already distributed. Reroute to the Delay
+                    # path — mirrors the same re-check in delay_update.
+                    accel.locks.release(item, token)
+                    self.in_progress.discard(token)
+                    result = yield from accel.delay.execute(req, span=span)
+                    return result
                 holds_local = True
                 if accel.store.value(item) + delta < 0:
                     ready = False
@@ -135,6 +160,8 @@ class ImmediateUpdateProtocol:
                 except RequestTimeout:
                     prep_span.finish(accel.now, timeout=True)
                     accel.trace("imm.unreachable", f"{site} ({token})")
+                    if ovl is not None:
+                        ovl.record_2pc_timeout(accel.now)
                     ready = False
                     break
                 prep_span.finish(accel.now, ready=reply["ready"])
@@ -234,6 +261,8 @@ class ImmediateUpdateProtocol:
             ]
             yield accel.env.all_of(deliveries)
         commit_span.finish(accel.now)
+        if ovl is not None:
+            ovl.record_2pc_success(accel.now)
         accel.locks.release(item, token)
         accel.trace("imm.commit", str(req))
         return UpdateResult(

@@ -53,6 +53,13 @@ class ReadResult:
     #: peers that contributed (reconciled/locked reads only)
     peers_asked: int = 0
     finished_at: float = 0.0
+    #: served from the local replica by a DEGRADED site instead of the
+    #: requested fan-out (overload brownout; see repro.core.overload)
+    degraded: bool = False
+    #: explicit bound on how stale a degraded read may be: the replica
+    #: lags ground truth by at most the deltas accumulated since the
+    #: last completed sync pass, i.e. this many simulated seconds
+    staleness_bound: float = 0.0
 
 
 class ReadProtocol:
@@ -83,6 +90,23 @@ class ReadProtocol:
                 consistency=consistency,
                 finished_at=accel.now,
             )
+
+        if accel.overload is not None:
+            # Brownout: a DEGRADED site answers reconciled reads from
+            # its own replica — zero messages — but says so, with an
+            # explicit staleness bound, instead of quietly adding 2(n-1)
+            # messages to an already-overloaded system. LOCKED reads
+            # still pay full price (they serialise against 2PC).
+            bound = accel.overload.degraded_read_bound(accel.now)
+            if bound is not None and consistency is ReadConsistency.RECONCILED:
+                return ReadResult(
+                    item=item,
+                    value=accel.store.value(item),
+                    consistency=consistency,
+                    finished_at=accel.now,
+                    degraded=True,
+                    staleness_bound=bound,
+                )
 
         span = rec.start(
             "read", accel.site, accel.now,

@@ -51,9 +51,18 @@ class SyncScheduler:
         from repro.sim.errors import Interrupt
 
         accel = self.accel
+        ovl = accel.overload
         try:
             while True:
-                yield accel.env.timeout(self.interval)
+                # Under strain the overload controller halves the
+                # interval: draining the backlog faster is the cheapest
+                # pressure relief there is.
+                interval = (
+                    ovl.sync_interval(self.interval)
+                    if ovl is not None
+                    else self.interval
+                )
+                yield accel.env.timeout(interval)
                 if accel.endpoint.crashed:
                     continue
                 span = accel.obs.recorder.start(
@@ -63,6 +72,11 @@ class SyncScheduler:
                 span.finish(accel.now, messages=sent)
                 self.messages_sent += sent
                 self.passes += 1
+                if ovl is not None:
+                    # The periodic pass doubles as the recovery clock:
+                    # it re-evaluates the state machine while the surge
+                    # tails off, driving RECOVERING → NORMAL.
+                    ovl.note_sync_pass(accel.now)
         except Interrupt:
             return
 

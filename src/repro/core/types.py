@@ -39,6 +39,11 @@ class UpdateOutcome(enum.Enum):
     ABORTED = "aborted"
     #: the originating site failed mid-protocol
     FAILED = "failed"
+    #: deterministically rejected by overload admission control (or the
+    #: tripped 2PC circuit breaker) before entering the protocol; the
+    #: result carries a ``retry_after`` hint. Only produced when
+    #: ``SystemConfig.overload`` is set.
+    SHED = "shed"
 
 
 _request_ids = count(1)
@@ -73,6 +78,8 @@ class UpdateResult:
     av_requests: int = 0
     #: AV volume obtained from peers for this update
     av_obtained: float = 0.0
+    #: suggested client backoff (simulated seconds) on a SHED outcome
+    retry_after: float = 0.0
 
     @property
     def latency(self) -> float:

@@ -46,7 +46,7 @@ class _ItemLock:
     def __init__(self) -> None:
         #: current holders: owner -> mode
         self.holders: Dict[str, LockMode] = {}
-        self.queue: Deque[_Waiter] = deque()
+        self.queue: Deque[_Waiter] = deque()  # repro-lint: disable=unbounded-queue (wait depth is capped at admission — OverloadController.lock_wait_budget sheds before enqueue)
 
     def mode(self) -> Optional[LockMode]:
         if not self.holders:

@@ -29,10 +29,15 @@ from typing import Callable, Dict, List, Optional
 from repro.analysis.invariants import SanitizerReport, Violation
 from repro.cluster import DistributedSystem, paper_config
 from repro.cluster.config import SystemConfig
+from repro.core.overload import OverloadParams
 from repro.core.sync import SyncScheduler
+from repro.core.types import UpdateOutcome, UpdateResult
 from repro.net.faults import FaultSchedule
 from repro.net.reliable import ReliabilityParams
+from repro.sim.rng import RngRegistry
 from repro.workload.driver import run_open, split_by_site
+from repro.workload.generators import FlashSaleWorkload
+from repro.workload.trace import WorkloadTrace
 
 from repro.experiments.fig6 import make_paper_trace
 
@@ -43,12 +48,34 @@ LOSS_RULES = ("av.grant-lost", "av.push-lost", "net.in-flight", "lease.unresolve
 
 @dataclass(frozen=True)
 class ChaosScenario:
-    """A named fault schedule over the standard chaos run shape."""
+    """A named fault schedule over the standard chaos run shape.
+
+    The default shape is the §4 paper trace under lock-step per-site
+    arrivals; a scenario may override any part of it — the surge
+    scenarios swap in a flash-sale trace, open-loop arrivals and the
+    overload layer, then audit overload-specific end state on top of
+    the standard convergence post-conditions.
+    """
 
     name: str
     #: builds the schedule for a concrete config (site names, windows)
     build: Callable[[SystemConfig], FaultSchedule]
     description: str = ""
+    #: extra ``paper_config`` keyword overrides (e.g. the overload layer)
+    config_overrides: Optional[Dict[str, object]] = None
+    #: run-shape overrides: interarrival / horizon / settle / sync_interval
+    run_overrides: Optional[Dict[str, float]] = None
+    #: replaces :func:`make_paper_trace`: ``(n_updates, seed, config)``
+    trace_factory: Optional[
+        Callable[[int, int, SystemConfig], WorkloadTrace]
+    ] = None
+    #: end-state audit run after the drain: ``(system, results)`` →
+    #: failure strings, folded into :attr:`ChaosResult.ok`
+    extra_checks: Optional[
+        Callable[[DistributedSystem, List[UpdateResult]], List[str]]
+    ] = None
+    #: issue updates at the arrival rate instead of lock-step per site
+    open_loop: bool = False
 
 
 @dataclass
@@ -69,10 +96,17 @@ class ChaosResult:
     #: the run's observability hub (chaos always observes), for span
     #: rollups in the profiler CLI
     obs: Optional[object] = None
+    #: scenario-specific end-state failures (see ChaosScenario.extra_checks)
+    extra_failures: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return self.report.ok and self.converged and not self.loss_warnings
+        return (
+            self.report.ok
+            and self.converged
+            and not self.loss_warnings
+            and not self.extra_failures
+        )
 
     def render(self) -> str:
         counters = self.report.counters
@@ -95,6 +129,8 @@ class ChaosResult:
             lines.append("  " + v.render())
         for w in self.loss_warnings:
             lines.append("  " + w.render())
+        for msg in self.extra_failures:
+            lines.append(f"  end-state: {msg}")
         return "\n".join(lines)
 
 
@@ -161,12 +197,176 @@ def _flaky_links(config: SystemConfig) -> FaultSchedule:
     return schedule
 
 
+def _no_faults(config: SystemConfig) -> FaultSchedule:
+    # The overload scenario's adversary is the workload, not the network.
+    return FaultSchedule()
+
+
+def _overload_trace(
+    n_updates: int, seed: int, config: SystemConfig
+) -> WorkloadTrace:
+    """Flash-sale surge hitting both consistency paths at once.
+
+    The hot set pairs the first non-regular item (every decrement is a
+    2PC — the coordination storm that strains the maker into demoting
+    it) with the hottest regular item (a Delay storm against the AV
+    budgets). The maker joins the burst rotation: demotion is
+    maker-initiated, so the base site must feel the surge first-hand.
+    """
+    items = [
+        f"item{i:0{len(str(config.n_items - 1))}d}"
+        for i in range(config.n_items)
+    ]
+    n_regular = round(config.n_items * config.regular_fraction)
+    if n_regular < config.n_items:
+        hot = [items[n_regular], items[0]]
+    else:  # pragma: no cover - scenario always configures a mixed catalog
+        hot = items[:2]
+    cold = [i for i in items if i not in hot]
+    generator = FlashSaleWorkload(
+        maker=config.maker,
+        retailers=[config.maker, *config.retailers],
+        items=[*hot, *cold],
+        rng=RngRegistry(seed).stream("workload.flashsale"),
+        hot_items=len(hot),
+        burst=max(1, n_updates // (len(config.retailers) + 1)),
+    )
+    return WorkloadTrace.capture(generator, n_updates)
+
+
+def _overload_checks(
+    system: DistributedSystem, results: List[UpdateResult]
+) -> List[str]:
+    """The overload layer's end-state oracle set.
+
+    Beyond the standard chaos post-conditions (sanitizer clean, replicas
+    converged) the surge must end with: every controller back at NORMAL
+    having taken only legal edges, every shed observably rejected with a
+    retry hint, queues bounded by their budgets, the demotion/promotion
+    lifecycle closed, and — recomputed from the update results rather
+    than the ledger — not a single committed decrement missing from any
+    replica.
+    """
+    from repro.core.overload import ALLOWED_TRANSITIONS, DegradationState
+
+    failures: List[str] = []
+    legal = {(a.value, b.value) for a, b in ALLOWED_TRANSITIONS}
+    collector = system.collector
+    total_shed = 0
+    total_demotions = 0
+    for name in sorted(system.sites):
+        ovl = system.sites[name].accelerator.overload
+        if ovl is None:
+            failures.append(f"{name}: overload layer not attached")
+            continue
+        total_shed += ovl.shed
+        total_demotions += ovl.demotions
+        if ovl.state is not DegradationState.NORMAL:
+            failures.append(f"{name}: ended {ovl.state.value}, not normal")
+        if ovl.demoted_items:
+            failures.append(
+                f"{name}: items still demoted at end: {ovl.demoted_items}"
+            )
+        if ovl.demotions != ovl.promotions:
+            failures.append(
+                f"{name}: {ovl.demotions} demotions vs"
+                f" {ovl.promotions} promotions"
+            )
+        if ovl.peak_inflight > ovl.params.inflight_budget:
+            failures.append(
+                f"{name}: peak inflight {ovl.peak_inflight} exceeded"
+                f" budget {ovl.params.inflight_budget}"
+            )
+        if ovl.peak_backlog > 2 * ovl.params.backlog_budget:
+            failures.append(
+                f"{name}: peak backlog {ovl.peak_backlog} ran away"
+                f" (budget {ovl.params.backlog_budget})"
+            )
+        for _now, src, dst in ovl.transitions:
+            if (src, dst) not in legal:
+                failures.append(f"{name}: illegal transition {src}->{dst}")
+
+    if total_shed == 0:
+        failures.append("surge never shed a single update (budgets too lax?)")
+    if total_demotions == 0:
+        failures.append("surge never demoted the hot immediate item")
+    shed_results = [
+        r for r in collector.results if r.outcome is UpdateOutcome.SHED
+    ]
+    if len(shed_results) != total_shed:
+        failures.append(
+            f"{len(shed_results)} shed results reached callers but"
+            f" controllers count {total_shed} sheds"
+        )
+    audit = getattr(system.sanitizer, "overload", None)
+    if audit is not None and audit.sheds != total_shed:
+        failures.append(
+            f"sanitizer observed {audit.sheds} shed events but"
+            f" controllers count {total_shed}"
+        )
+    for r in shed_results:
+        if r.retry_after <= 0:
+            failures.append(
+                f"shed update {r.request} carries no retry-after hint"
+            )
+            break
+
+    # No lost updates: recompute every item's value from the individual
+    # committed results (bypassing the ledger, which shares bookkeeping
+    # with the code under test) and demand every replica matches.
+    committed_sum: Dict[str, float] = {}
+    for r in collector.results:
+        if r.committed:
+            committed_sum[r.request.item] = (
+                committed_sum.get(r.request.item, 0.0) + r.request.delta
+            )
+    ledger = collector.ledger
+    for item in sorted(ledger.items()):
+        want = ledger.initial_value(item) + committed_sum.get(item, 0.0)
+        for name in sorted(system.sites):
+            got = system.sites[name].store.value(item)
+            if abs(got - want) > 1e-6:
+                failures.append(
+                    f"lost update: {name} holds {item}={got:g} but the"
+                    f" committed deltas sum to {want:g}"
+                )
+    return failures
+
+
+#: budgets tight enough that a 40-update burst per site must shed; the
+#: shortened recovery hold keeps the promote leg inside the settle window
+_OVERLOAD_PARAMS = OverloadParams(
+    inflight_budget=8,
+    backlog_budget=32,
+    lock_wait_budget=4,
+    recover_hold=10.0,
+)
+
+_OVERLOAD_SCENARIO = ChaosScenario(
+    "overload",
+    _no_faults,
+    "flash-sale surge: open-loop bursts shed, degrade, demote, recover",
+    config_overrides={
+        "overload": _OVERLOAD_PARAMS,
+        # A mixed catalog (the surge must stress both paths) with stock
+        # deep enough that headroom, not solvency, is the story.
+        "regular_fraction": 0.5,
+        "initial_stock": 400.0,
+    },
+    run_overrides={"interarrival": 1.0, "horizon": 200.0, "sync_interval": 15.0},
+    trace_factory=_overload_trace,
+    extra_checks=_overload_checks,
+    open_loop=True,
+)
+
+
 SMALL_SCENARIOS = (
     ChaosScenario("maker-crash", _maker_crash, "base site down mid-run"),
     ChaosScenario("retailer-crash", _retailer_crash, "replica down mid-run"),
     ChaosScenario(
         "partition-loss", _partition_loss, "maker isolated + 5% message loss"
     ),
+    _OVERLOAD_SCENARIO,
 )
 
 FULL_SCENARIOS = SMALL_SCENARIOS + (
@@ -198,8 +398,16 @@ def run_chaos_scenario(
     ``horizon`` bounds the driven (faulty) phase; the heal phase then
     removes every fault, restarts still-crashed sites through the full
     rejoin, lets ``settle`` sim-time pass, flushes all sync backlogs and
-    drains the event queue before judging.
+    drains the event queue before judging. A scenario may override the
+    config, the trace, the arrival discipline and the run knobs (see
+    :class:`ChaosScenario`).
     """
+    run_cfg = dict(scenario.run_overrides) if scenario.run_overrides else {}
+    interarrival = run_cfg.get("interarrival", interarrival)
+    horizon = run_cfg.get("horizon", horizon)
+    settle = run_cfg.get("settle", settle)
+    sync_interval = run_cfg.get("sync_interval", sync_interval)
+    overrides = dict(scenario.config_overrides) if scenario.config_overrides else {}
     config = paper_config(
         n_items=n_items,
         n_retailers=n_retailers,
@@ -208,12 +416,16 @@ def run_chaos_scenario(
         observe=True,
         sanitize=True,
         reliability=reliability if reliability is not None else ReliabilityParams(),
+        **overrides,
     )
     system = DistributedSystem.build(config)
     faults = system.network.faults
-    trace = make_paper_trace(
-        n_updates, seed, n_items=n_items, n_retailers=n_retailers
-    )
+    if scenario.trace_factory is not None:
+        trace = scenario.trace_factory(n_updates, seed, config)
+    else:
+        trace = make_paper_trace(
+            n_updates, seed, n_items=n_items, n_retailers=n_retailers
+        )
     per_site = split_by_site(trace)
 
     completed = [0]
@@ -235,9 +447,10 @@ def run_chaos_scenario(
     )
 
     # Phase 1: drive the workload through the fault window.
-    run_open(
+    results = run_open(
         system, per_site, interarrival=interarrival,
         on_complete=on_complete, until=horizon,
+        open_loop=scenario.open_loop,
     )
 
     # Phase 2: heal the world. Every fault class is cleared and every
@@ -258,15 +471,31 @@ def run_chaos_scenario(
     for scheduler in schedulers:
         scheduler.stop()
     system.run()
-    while True:
+
+    def drain_sync() -> None:
+        # Flush sync backlogs to a fixpoint: an update (or a promotion)
+        # completing after the schedulers stop still leaves owed
+        # balances behind.
+        while True:
+            for name in sorted(system.sites):
+                system.sites[name].accelerator.sync_all()
+            system.run()
+            if not any(
+                system.sites[name].accelerator.unsynced_items()
+                for name in sorted(system.sites)
+            ):
+                break
+
+    drain_sync()
+    if config.overload is not None:
+        # Quiescence stands in for the recovery hold: walk every
+        # controller's remaining legal edges back to NORMAL, run the
+        # re-promotions that spawns, then flush the balances and the
+        # reconciliation traffic those left behind.
         for name in sorted(system.sites):
-            system.sites[name].accelerator.sync_all()
+            system.sites[name].accelerator.overload.finalize(system.env.now)
         system.run()
-        if not any(
-            system.sites[name].accelerator.unsynced_items()
-            for name in sorted(system.sites)
-        ):
-            break
+        drain_sync()
 
     from repro.cluster.system import InvariantViolation
 
@@ -282,6 +511,9 @@ def run_chaos_scenario(
 
     report = system.sanitizer.finish()
     loss = [w for w in report.warnings if w.rule in LOSS_RULES]
+    extra_failures: List[str] = []
+    if scenario.extra_checks is not None:
+        extra_failures = list(scenario.extra_checks(system, results))
     return ChaosResult(
         scenario=scenario.name,
         converged=converged,
@@ -293,6 +525,7 @@ def run_chaos_scenario(
         events_processed=system.env.events_processed,
         telemetry=TelemetrySnapshot.capture(system).to_dict(),
         obs=system.obs,
+        extra_failures=extra_failures,
     )
 
 

@@ -58,6 +58,7 @@ TAG_LEASE = "lease"      #: AV lease control traffic (acks, probes)
 TAG_REJOIN = "rejoin"    #: crash-recovery rejoin control traffic
 TAG_RELIABLE = "rel"     #: reliable-session control traffic (probes)
 TAG_SCM = "scm"          #: supply-chain workload traffic (replenish)
+TAG_OVERLOAD = "ovl"     #: overload-control traffic (degradation state)
 
 #: infrastructure keys legal on any dict payload: ``_obs`` carries
 #: cross-site span context, ``_rel`` the reliable-session envelope.
@@ -383,6 +384,20 @@ PROTOCOL = make_registry([
         reply_required={"manufactured"},
         doc="order-on-shortfall replenishment from the maker (§1.1)",
     ),
+    # ---- overload control ---------------------------------------------- #
+    _spec(
+        "ovl.state", ("site", "peer"), TAG_OVERLOAD, "oneway",
+        required={"state", "since"},
+        doc="degradation-state broadcast; peers steer AV asks away from"
+            " DEGRADED sites",
+    ),
+    _spec(
+        "ovl.probe", ("rejoiner", "peer"), TAG_OVERLOAD, "request",
+        payload_free=True,
+        reply_required={"state"},
+        needs_timeout=True,
+        doc="rebuild the peer degradation-state map after a restart",
+    ),
     # ---- centralized baseline ------------------------------------------ #
     _spec(
         "central.update", ("client", "center"), TAG_CENTRAL, "request",
@@ -410,6 +425,7 @@ __all__ = [
     "TAG_CENTRAL",
     "TAG_IMMEDIATE",
     "TAG_LEASE",
+    "TAG_OVERLOAD",
     "TAG_PROPAGATE",
     "TAG_READ",
     "TAG_REBALANCE",

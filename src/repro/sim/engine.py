@@ -68,7 +68,7 @@ class Environment:
         # Same-timestamp FIFO buckets, one per priority level, valid for
         # time ``_bucket_time``. ``_bucket_count`` tracks total entries
         # so emptiness checks stay O(1).
-        self._buckets: tuple[deque, deque, deque] = (deque(), deque(), deque())
+        self._buckets: tuple[deque, deque, deque] = (deque(), deque(), deque())  # repro-lint: disable=unbounded-queue (same-timestamp staging only: drained to empty before the clock advances)
         self._bucket_time: float = self._now
         self._bucket_count: int = 0
         self._active_process: Optional[Process] = None

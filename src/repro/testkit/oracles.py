@@ -19,6 +19,11 @@ versa). Three oracles, each reported as structured
   starting from the catalogue's initial stock, apply every committed
   delta exactly once. Final replicas and the metrics ledger must both
   match (commutativity makes order irrelevant, so one pass suffices).
+* **overload rest state** — when the overload layer is attached, every
+  controller must have settled back at NORMAL with nothing demoted,
+  admission must never have let inflight exceed its budget, and every
+  shed the controllers count must have surfaced as an observable
+  ``SHED`` result (a silently dropped request is a lost update).
 """
 
 from __future__ import annotations
@@ -151,13 +156,83 @@ def sequential_spec_findings(system, results) -> List[Violation]:
 
 
 # ----------------------------------------------------------------- #
+# overload rest state
+# ----------------------------------------------------------------- #
+
+def overload_findings(system) -> List[Violation]:
+    """Degradation ring settled, sheds observable, budgets respected.
+
+    No-op (empty list) when the overload layer is not attached.
+    """
+    from repro.core.overload import DegradationState
+
+    controllers = [
+        (name, system.sites[name].accelerator.overload)
+        for name in sorted(system.sites)
+    ]
+    controllers = [(n, o) for n, o in controllers if o is not None]
+    if not controllers:
+        return []
+
+    now = float(system.env.now)
+    findings: List[Violation] = []
+    total_shed = 0
+    for name, ovl in controllers:
+        total_shed += ovl.shed
+        if ovl.state is not DegradationState.NORMAL:
+            findings.append(Violation(
+                rule="oracle.overload-state", site=name, time=now,
+                detail=f"controller ended {ovl.state.value}, not normal",
+            ))
+        if ovl.demoted_items:
+            findings.append(Violation(
+                rule="oracle.overload-demoted", site=name, time=now,
+                detail=(
+                    "items never re-promoted:"
+                    f" {sorted(ovl.demoted_items)}"
+                ),
+            ))
+        if ovl.peak_inflight > ovl.params.inflight_budget:
+            findings.append(Violation(
+                rule="oracle.overload-admission", site=name, time=now,
+                detail=(
+                    f"peak inflight {ovl.peak_inflight} exceeded budget"
+                    f" {ovl.params.inflight_budget}"
+                ),
+            ))
+
+    shed_seen = sum(
+        1 for r in system.collector.results
+        if r.outcome is UpdateOutcome.SHED
+    )
+    if shed_seen != total_shed:
+        findings.append(Violation(
+            rule="oracle.overload-shed", time=now,
+            detail=(
+                f"controllers shed {total_shed} requests but only"
+                f" {shed_seen} surfaced as SHED results"
+            ),
+        ))
+    for r in system.collector.results:
+        if r.outcome is UpdateOutcome.SHED and r.retry_after <= 0:
+            findings.append(Violation(
+                rule="oracle.overload-shed",
+                item=r.request.item, time=now,
+                detail="shed result carries no positive retry-after hint",
+            ))
+            break
+    return findings
+
+
+# ----------------------------------------------------------------- #
 # combined
 # ----------------------------------------------------------------- #
 
 def end_state_findings(system, results, strict: bool) -> List[Violation]:
-    """All three oracles over one quiesced system, in a stable order."""
+    """All the oracles over one quiesced system, in a stable order."""
     return (
         convergence_findings(system)
         + conservation_findings(system, strict=strict)
         + sequential_spec_findings(system, results)
+        + overload_findings(system)
     )

@@ -16,6 +16,7 @@ from typing import Any, Dict, List
 
 from repro.analysis.invariants import Violation
 from repro.cluster import DistributedSystem, paper_config
+from repro.core.overload import OverloadParams
 from repro.core.sync import SyncScheduler
 from repro.net.reliable import ReliabilityParams
 from repro.perf.tasks import canonical_json, digest
@@ -28,6 +29,15 @@ from repro.workload.generators import WorkloadEvent
 #: sanitizer warnings that count as findings when the robustness layer
 #: is on (same set the chaos harness fails on)
 LOSS_RULES = ("av.grant-lost", "av.push-lost", "net.in-flight", "lease.unresolved")
+
+#: overload layer attached to surge cases — budgets tight enough that
+#: an open-loop burst actually exercises admission and the state ring
+SURGE_PARAMS = OverloadParams(
+    inflight_budget=4,
+    backlog_budget=24,
+    lock_wait_budget=4,
+    recover_hold=10.0,
+)
 
 
 @dataclass
@@ -134,6 +144,7 @@ def run_case(case: FuzzCase) -> CaseOutcome:
         sanitize=True,
         reliability=ReliabilityParams() if case.reliability else None,
         inject=case.inject,
+        overload=SURGE_PARAMS if case.overload else None,
     )
     _validate(case, config)
     system = DistributedSystem.build(config)
@@ -163,9 +174,11 @@ def run_case(case: FuzzCase) -> CaseOutcome:
 
     case.fault_schedule().install(system.env, faults, on_recover=on_recover)
 
-    # Phase 1: drive the workload through the fault window.
+    # Phase 1: drive the workload through the fault window. Surge cases
+    # issue open-loop: bounding concurrency is the system's job.
     results = run_open(
-        system, per_site, interarrival=case.interarrival, until=case.horizon
+        system, per_site, interarrival=case.interarrival, until=case.horizon,
+        open_loop=case.overload,
     )
 
     # Phase 2: heal the world — convergence is only promised for fault
@@ -182,15 +195,26 @@ def run_case(case: FuzzCase) -> CaseOutcome:
     for scheduler in schedulers:
         scheduler.stop()
     system.run()
-    while True:
+
+    def drain_sync() -> None:
+        while True:
+            for name in sorted(system.sites):
+                system.sites[name].accelerator.sync_all()
+            system.run()
+            if not any(
+                system.sites[name].accelerator.unsynced_items()
+                for name in sorted(system.sites)
+            ):
+                break
+
+    drain_sync()
+    if config.overload is not None:
+        # Settle the degradation ring at proven quiescence and run the
+        # owed re-promotions before the oracles judge the end state.
         for name in sorted(system.sites):
-            system.sites[name].accelerator.sync_all()
+            system.sites[name].accelerator.overload.finalize(system.env.now)
         system.run()
-        if not any(
-            system.sites[name].accelerator.unsynced_items()
-            for name in sorted(system.sites)
-        ):
-            break
+        drain_sync()
 
     report = system.sanitizer.finish()
     oracle_findings = end_state_findings(

@@ -72,6 +72,11 @@ class FuzzCase:
         oracle only checks the ``<=`` bound).
     inject:
         TEST-ONLY planted-bug name (see ``SystemConfig.inject``).
+    overload:
+        Surge case: the overload layer is attached (tight budgets), the
+        runner issues arrivals open-loop, and the end-state oracles
+        additionally demand the degradation ring settled back at NORMAL
+        with every shed observably rejected.
     """
 
     seed: int
@@ -89,6 +94,7 @@ class FuzzCase:
     sync_interval: float = 25.0
     reliability: bool = True
     inject: str = ""
+    overload: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.latency_amp < 1.0:
@@ -167,6 +173,23 @@ def _mutate_ops(trace, sites, retailers, mut) -> Tuple[Tuple[str, str, float], .
     return tuple(ops)
 
 
+def _surge_ops(ops, retailers, mut) -> Tuple[Tuple[str, str, float], ...]:
+    """Splice a flash-sale burst into the op stream (surge cases).
+
+    A run of consecutive unit decrements against one hot item from one
+    site — issued open-loop by the runner, so the burst arrives at the
+    interarrival rate regardless of completion and it is the system's
+    admission control, not the driver, that has to bound concurrency.
+    """
+    items = sorted({item for _site, item, _delta in ops})
+    hot = items[int(mut.integers(0, len(items)))]
+    site = retailers[int(mut.integers(0, len(retailers)))]
+    burst = int(mut.integers(30, 81))
+    pos = int(mut.integers(0, len(ops) + 1))
+    burst_ops = tuple((site, hot, -1.0) for _ in range(burst))
+    return ops[:pos] + burst_ops + ops[pos:]
+
+
 def _draw_faults(sites, horizon, mut) -> FaultSchedule:
     """0-2 fault motifs with randomized victims, windows and rates."""
     schedule = FaultSchedule()
@@ -221,19 +244,36 @@ def make_case(
 
     horizon = 240.0
     faults = _draw_faults(sites, horizon, mut)
+    latency_amp = float(mut.choice([0.0, 0.3, 0.6, 0.9]))
+    timer_amp = float(mut.choice([0.0, 0.2, 0.5]))
+    interarrival = round(float(mut.uniform(2.0, 5.0)), 3)
+    sync_interval = float(mut.choice([15.0, 25.0, 40.0]))
+
+    # The surge roll consumes the stream last, so pre-existing campaign
+    # coordinates keep producing byte-identical cases.
+    overload = bool(mut.random() < 0.2)
+    if overload:
+        # Demotion (make_regular) is not fault-tolerant by design; in a
+        # surge case the workload is the adversary, the network stays
+        # healthy. Arrivals are dense — a flash sale, not a drizzle —
+        # so the open-loop burst actually outpaces completion.
+        faults = FaultSchedule()
+        ops = _surge_ops(ops, retailers, mut)
+        interarrival = round(float(mut.uniform(0.2, 1.0)), 3)
 
     return FuzzCase(
         seed=seed,
         ops=ops,
         faults=_freeze(faults.to_specs()),
-        latency_amp=float(mut.choice([0.0, 0.3, 0.6, 0.9])),
-        timer_amp=float(mut.choice([0.0, 0.2, 0.5])),
+        latency_amp=latency_amp,
+        timer_amp=timer_amp,
         perturb_seed=perturb_seed,
         n_items=n_items,
         n_retailers=n_retailers,
-        interarrival=round(float(mut.uniform(2.0, 5.0)), 3),
+        interarrival=interarrival,
         horizon=horizon,
         settle=160.0,
-        sync_interval=float(mut.choice([15.0, 25.0, 40.0])),
+        sync_interval=sync_interval,
         inject=inject,
+        overload=overload,
     )

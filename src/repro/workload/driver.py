@@ -61,6 +61,7 @@ def run_open(
     on_complete: Optional[CompletionHook] = None,
     jitter: float = 0.0,
     until: Optional[float] = None,
+    open_loop: bool = False,
 ) -> list[UpdateResult]:
     """Run one arrival process per site, updates overlapping freely.
 
@@ -69,12 +70,31 @@ def run_open(
     lockstep artifacts). Events in a site's stream must belong to that
     site.
 
+    By default each site's driver waits for an update to finish before
+    issuing the next (closed per site, overlap only across sites). With
+    ``open_loop=True`` the driver issues at the arrival rate regardless
+    of completion — the surge discipline: per-site concurrency is then
+    unbounded unless the system itself sheds load (the overload layer's
+    admission control). Completions are collected via callbacks, so
+    ``results`` arrives in completion order and may be shorter than the
+    stream if ``until`` cuts updates off mid-flight.
+
     ``until`` bounds the simulation clock — required when background
     daemons (rebalancer, sync scheduler) run forever; without it the run
     lasts until the event queue drains.
     """
     results: list[UpdateResult] = []
     counter = [0]
+
+    def collector(event):
+        def collect(ev):
+            if ev.ok and isinstance(ev.value, UpdateResult):
+                results.append(ev.value)
+                if on_complete is not None:
+                    on_complete(counter[0], event, ev.value)
+                counter[0] += 1
+
+        return collect
 
     def site_driver(env, site_name, events):
         rng = system.rngs.stream(f"{site_name}.arrivals")
@@ -89,6 +109,10 @@ def run_open(
             yield env.timeout(wait)
             if system.sites[site_name].crashed:
                 continue  # a crashed site generates no load
+            if open_loop:
+                proc = system.update(event.site, event.item, event.delta)
+                proc.callbacks.append(collector(event))
+                continue
             result = yield system.update(event.site, event.item, event.delta)
             results.append(result)
             if on_complete is not None:

@@ -198,6 +198,173 @@ class HotspotWorkload(WorkloadGenerator):
                 yield event
 
 
+class FlashSaleWorkload(WorkloadGenerator):
+    """A flash sale: Zipf-hot items hit by dense unit-decrement bursts.
+
+    The surge the overload layer exists for. Retailers take turns
+    firing bursts of ``burst`` consecutive ``-1`` updates (default 100 —
+    a 100× burst against the paper's one-at-a-time walk) aimed at a
+    small hot set, picked Zipf-style so the hottest item soaks most of
+    the traffic. Every ``restock_every`` bursts the maker restocks the
+    hottest item, keeping global headroom ample — the surge stresses
+    *coordination*, not solvency.
+
+    Parameters
+    ----------
+    maker, retailers, items, rng:
+        As :class:`PaperWorkload`.
+    hot_items:
+        Size of the hot set (a prefix of ``items``).
+    burst:
+        Decrements per burst (the "100×" knob).
+    restock_every:
+        Bursts between maker restocks.
+    restock_amount:
+        Units per restock; defaults to one burst's worth.
+    skew:
+        Zipf exponent over the hot set ranks.
+    """
+
+    def __init__(
+        self,
+        maker: str,
+        retailers: Sequence[str],
+        items: Sequence[str],
+        rng: np.random.Generator,
+        hot_items: int = 2,
+        burst: int = 100,
+        restock_every: int = 4,
+        restock_amount: Optional[float] = None,
+        skew: float = 1.5,
+    ) -> None:
+        if not retailers:
+            raise ValueError("need at least one retailer")
+        if not 1 <= hot_items <= len(items):
+            raise ValueError(f"hot_items {hot_items} not in [1, {len(items)}]")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        if restock_every < 1:
+            raise ValueError("restock_every must be >= 1")
+        if skew <= 1.0:
+            raise ValueError(f"zipf skew must be > 1, got {skew}")
+        self.maker = maker
+        self.retailers = list(retailers)
+        self.hot = list(items[:hot_items])
+        self.rng = rng
+        self.burst = burst
+        self.restock_every = restock_every
+        self.restock_amount = (
+            float(burst) if restock_amount is None else restock_amount
+        )
+        self.skew = skew
+
+    def _pick_hot(self) -> str:
+        while True:
+            rank = int(self.rng.zipf(self.skew))
+            if rank <= len(self.hot):
+                return self.hot[rank - 1]
+
+    def events(self, n: int) -> Iterator[WorkloadEvent]:
+        emitted = 0
+        bursts = 0
+        while emitted < n:
+            site = self.retailers[bursts % len(self.retailers)]
+            item = self._pick_hot()
+            for _ in range(min(self.burst, n - emitted)):
+                yield WorkloadEvent(site, item, -1.0)
+                emitted += 1
+            bursts += 1
+            if bursts % self.restock_every == 0 and emitted < n:
+                yield WorkloadEvent(self.maker, self.hot[0], self.restock_amount)
+                emitted += 1
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseSpec:
+    """One phase of a phase-shifting workload (DMIS EP-02 vocabulary)."""
+
+    name: str
+    #: share of the event stream spent in this phase
+    fraction: float
+    #: decrement cap as a fraction of initial stock (demand intensity)
+    decrease_fraction: float
+    #: share of decrements concentrated on the hot set
+    hot_fraction: float
+
+
+#: the EP-02 three-phase schedule (SNIPPETS.md): a disaster-response
+#: SURGE (dense, hot-concentrated demand), the STABILIZED tail, then
+#: BASELINE normal operations
+EP02_PHASES: tuple[PhaseSpec, ...] = (
+    PhaseSpec("SURGE", 0.30, 0.30, 0.80),
+    PhaseSpec("STABILIZED", 0.40, 0.10, 0.30),
+    PhaseSpec("BASELINE", 0.30, 0.05, 0.00),
+)
+
+
+class PhaseShiftWorkload(WorkloadGenerator):
+    """Paper-style stream whose intensity shifts through named phases.
+
+    Implements the EP-02 SURGE → STABILIZED → BASELINE schedule: each
+    phase takes a fixed share of the stream with its own decrement cap
+    and hot-set concentration, so one run sweeps the system from
+    overload into calm — exactly the trajectory the degradation state
+    machine must follow (and the back-at-NORMAL oracle checks).
+    """
+
+    def __init__(
+        self,
+        maker: str,
+        retailers: Sequence[str],
+        items: Sequence[str],
+        initial_stock: float,
+        rng: np.random.Generator,
+        phases: Sequence[PhaseSpec] = EP02_PHASES,
+        hot_items: int = 2,
+    ) -> None:
+        if not phases:
+            raise ValueError("need at least one phase")
+        total = sum(p.fraction for p in phases)
+        if not math.isclose(total, 1.0, rel_tol=1e-9):
+            raise ValueError(f"phase fractions sum to {total}, want 1.0")
+        if not 1 <= hot_items <= len(items):
+            raise ValueError(f"hot_items {hot_items} not in [1, {len(items)}]")
+        self.maker = maker
+        self.retailers = list(retailers)
+        self.items = list(items)
+        self.hot = list(items[:hot_items])
+        self.initial_stock = initial_stock
+        self.rng = rng
+        self.phases = tuple(phases)
+
+    def phase_of(self, index: int, n: int) -> PhaseSpec:
+        """Which phase event ``index`` of an ``n``-event stream is in."""
+        boundary = 0.0
+        for phase in self.phases:
+            boundary += phase.fraction * n
+            if index < boundary:
+                return phase
+        return self.phases[-1]
+
+    def events(self, n: int) -> Iterator[WorkloadEvent]:
+        sites = [self.maker, *self.retailers]
+        for i in range(n):
+            phase = self.phase_of(i, n)
+            site = sites[i % len(sites)]
+            if site == self.maker:
+                cap = max(1, int(self.initial_stock * 0.20))
+                delta = float(self.rng.integers(1, cap + 1))
+                item = self.items[int(self.rng.integers(len(self.items)))]
+            else:
+                cap = max(1, int(self.initial_stock * phase.decrease_fraction))
+                delta = -float(self.rng.integers(1, cap + 1))
+                if self.rng.random() < phase.hot_fraction:
+                    item = self.hot[int(self.rng.integers(len(self.hot)))]
+                else:
+                    item = self.items[int(self.rng.integers(len(self.items)))]
+            yield WorkloadEvent(site, item, delta)
+
+
 class MixedKindWorkload(WorkloadGenerator):
     """Paper deltas over a catalogue with regular *and* non-regular items.
 

@@ -174,6 +174,83 @@ class TestSpanKindRegistry:
             """) == []
 
 
+class TestUnboundedQueue:
+    def test_bare_deque_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            from collections import deque
+            q = deque()
+            """)
+        assert rules_hit(findings) == ["unbounded-queue"]
+
+    def test_deque_with_maxlen_clean(self, tmp_path):
+        assert lint_source(tmp_path, """\
+            from collections import deque
+            q = deque(maxlen=64)
+            """) == []
+
+    def test_queue_append_without_budget_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            class Mailbox:
+                def deliver(self, msg):
+                    self.backlog.append(msg)
+            """)
+        assert rules_hit(findings) == ["unbounded-queue"]
+        assert "budget" in findings[0].message
+
+    def test_len_guard_counts_as_budget(self, tmp_path):
+        assert lint_source(tmp_path, """\
+            class Mailbox:
+                def deliver(self, msg):
+                    if len(self.backlog) >= 64:
+                        return False
+                    self.backlog.append(msg)
+                    return True
+            """) == []
+
+    def test_budget_identifier_counts(self, tmp_path):
+        assert lint_source(tmp_path, """\
+            class Mailbox:
+                def deliver(self, ovl, msg):
+                    if not ovl.admit(self.params.backlog_budget):
+                        return False
+                    self.pending.append(msg)
+                    return True
+            """) == []
+
+    def test_non_queue_appends_ignored(self, tmp_path):
+        assert lint_source(tmp_path, """\
+            def collect(results, item):
+                results.append(item)
+            """) == []
+
+    def test_nested_scope_judged_separately(self, tmp_path):
+        # The outer function's len() guard must not grant amnesty to a
+        # nested closure that appends with no budget of its own.
+        findings = lint_source(tmp_path, """\
+            class Router:
+                def pump(self, msg):
+                    if len(self.inbox) < 8:
+                        pass
+
+                    def enqueue(m):
+                        self.inbox.append(m)
+                    return enqueue
+            """)
+        assert rules_hit(findings) == ["unbounded-queue"]
+
+    def test_tests_exempt(self, tmp_path):
+        assert lint_source(tmp_path, """\
+            from collections import deque
+            q = deque()
+            """, relpath="tests/test_x.py") == []
+
+    def test_suppressible(self, tmp_path):
+        assert lint_source(tmp_path, """\
+            from collections import deque
+            q = deque()  # repro-lint: disable=unbounded-queue (drained every kernel step)
+            """) == []
+
+
 class TestSuppression:
     def test_disable_comment_silences_one_rule(self, tmp_path):
         findings = lint_source(tmp_path, """\

@@ -169,6 +169,57 @@ class TestCalibration:
         assert harness.calibrate(samples=1) > 0
 
 
+class TestCheckBaselineGate:
+    """main() under --check-baseline, with bench_grid/calibrate stubbed
+    so no real sweep is ever timed."""
+
+    def _patch(self, monkeypatch, tmp_path, history):
+        def fake_bench(label, grid, seed, shards, cal, repeats=3):
+            report = _report(1.0, grid=grid)
+            report["sequential"]["events_per_sec"] = 1000.0
+            report["sharded"] = {
+                "shards": shards, "wall_s": 0.5,
+                "events_per_sec": 1000.0, "speedup": 1.0, "retries": 0,
+            }
+            return report
+
+        monkeypatch.setattr(harness, "calibrate", lambda samples=5: 1.0)
+        monkeypatch.setattr(harness, "bench_grid", fake_bench)
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+        monkeypatch.setattr(
+            harness, "load_history", lambda path=None, grid=None: history
+        )
+        monkeypatch.setattr(
+            harness, "append_history",
+            lambda report, path=None, ts=None: {},
+        )
+
+    def test_no_data_verdict_fails_loudly(self, monkeypatch, tmp_path, capsys):
+        # No committed baseline, no history: the gate must fail, not
+        # silently pass with nothing to compare against.
+        self._patch(monkeypatch, tmp_path, history=[])
+        rc = harness.main(
+            ["--small", "--check-baseline", "--experiments", "fig6"]
+        )
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "no-data" in err
+        assert "cannot run" in err
+
+    def test_healthy_history_passes(self, monkeypatch, tmp_path, capsys):
+        self._patch(
+            monkeypatch, tmp_path,
+            history=_entries(1.0, 1.0, 1.0),
+        )
+        (tmp_path / "BENCH_fig6.json").write_text(
+            json.dumps(_report(1.0, grid="fig6-small"))
+        )
+        rc = harness.main(
+            ["--small", "--check-baseline", "--experiments", "fig6"]
+        )
+        assert rc == 0, capsys.readouterr().err
+
+
 @pytest.mark.parametrize("grid", sorted(harness.BENCH_GRIDS))
 def test_committed_baselines_parse(grid):
     """The checked-in BENCH_*.json files feed the gate; keep them sane."""

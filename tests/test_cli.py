@@ -33,6 +33,29 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fuzz", "--inject", "bogus-bug"])
 
+    def test_sweep_shards_accepts_auto_and_ints(self):
+        args = build_parser().parse_args(
+            ["sweep", "fig6-small", "--shards", "auto"]
+        )
+        assert args.shards == "auto"
+        args = build_parser().parse_args(
+            ["sweep", "fig6-small", "--shards", "3"]
+        )
+        assert args.shards == 3
+        for bad in ("0", "-2", "many"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(
+                    ["sweep", "fig6-small", "--shards", bad]
+                )
+
+    def test_resolve_shards_sequential_for_small_grids(self):
+        from repro.cli import AUTO_SHARD_MIN_TASKS, resolve_shards
+
+        assert resolve_shards("auto", AUTO_SHARD_MIN_TASKS - 1) == 1
+        assert resolve_shards("auto", AUTO_SHARD_MIN_TASKS) >= 2
+        # explicit counts are always honoured verbatim
+        assert resolve_shards(7, 2) == 7
+
 
 class TestExecution:
     def test_fig6_runs(self, capsys):

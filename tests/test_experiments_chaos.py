@@ -15,13 +15,19 @@ from repro.experiments.chaos import (
 class TestScenarios:
     def test_small_suite_covers_required_schedules(self):
         names = [s.name for s in SMALL_SCENARIOS]
-        assert names == ["maker-crash", "retailer-crash", "partition-loss"]
+        assert names == [
+            "maker-crash", "retailer-crash", "partition-loss", "overload",
+        ]
         assert set(names) < {s.name for s in FULL_SCENARIOS}
 
     def test_schedules_build_for_paper_config(self):
         config = paper_config()
         for scenario in FULL_SCENARIOS:
             schedule = scenario.build(config)
+            if scenario.name == "overload":
+                # Workload is the adversary: the network stays healthy.
+                assert len(schedule) == 0
+                continue
             assert len(schedule) > 0
             assert schedule.last_time > 0
 
@@ -48,11 +54,23 @@ class TestChaosRuns:
         for rule in LOSS_RULES:
             assert not result.report.by_rule(rule)
 
+    def test_overload_surge_sheds_degrades_and_recovers(self):
+        result = run_chaos_scenario(SMALL_SCENARIOS[3], n_updates=45)
+        assert result.ok
+        assert not result.extra_failures
+        counters = result.report.counters
+        # The surge must actually bite: requests shed with retry hints,
+        # items demoted to the delay path — and every demotion reversed.
+        assert counters["overload_sheds"] > 0
+        assert counters["overload_demotions"] > 0
+        assert counters["overload_demotions"] == counters["overload_promotions"]
+        assert counters["overload_transitions"] > 0
+
     def test_small_report_aggregates(self):
         report = run_chaos(small=True, n_updates=45)
         assert report.ok
-        assert len(report.results) == 3
-        assert "3/3" in report.render()
+        assert len(report.results) == 4
+        assert "4/4" in report.render()
 
     def test_cli_smoke(self):
         from repro.cli import main

@@ -170,7 +170,7 @@ class TestProfiledRun:
     def test_chaos_profiled_run(self):
         run = run_profiled("chaos", small=True, n_updates=40)
         assert run.report["experiment"] == "chaos"
-        assert len(run.span_groups) == 3  # one recorder per small scenario
+        assert len(run.span_groups) == 4  # one recorder per small scenario
         assert run.report["events_processed"] > 0
         assert isinstance(run, ProfiledRun)
 
