@@ -188,12 +188,19 @@ class ProtocolSanitizer:
             self.causal.on_drop(msg.msg_id)
 
         kind = msg.kind
-        if kind == "av.request":
+        # The hierarchical pool kinds (leaf→aggregator ask, aggregator→
+        # parent refill) move AV exactly like a peer grant, so the same
+        # request/reply transit accounting covers every level.
+        if kind in ("av.request", "av.pool.request", "av.pool.refill"):
             if event == "send":
                 self._av_requests[msg.msg_id] = msg.payload["item"]
             elif event == "drop":
                 self._av_requests.pop(msg.msg_id, None)
-        elif kind == "av.request.reply":
+        elif kind in (
+            "av.request.reply",
+            "av.pool.request.reply",
+            "av.pool.refill.reply",
+        ):
             self._track_grant(event, now, msg)
         elif kind == "av.push":
             self._track_push(event, now, msg)

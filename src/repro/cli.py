@@ -306,7 +306,7 @@ def _cmd_latency(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    if args.dimension in ("items", "scale", "av-fraction"):
+    if args.dimension in ("items", "sites", "av-fraction"):
         from repro.experiments import (
             SWEEP_HEADERS,
             sweep_av_fraction,
@@ -318,7 +318,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
         sweeps = {
             "items": sweep_items,
-            "scale": sweep_scale,
+            # "sites" is the retailer-count ablation (historically named
+            # "scale"; renamed so the topology grid can own that name).
+            "sites": sweep_scale,
             "av-fraction": sweep_av_fraction,
         }
         fn = sweeps[args.dimension]
@@ -701,16 +703,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "sweep",
         help=(
-            "parameter sweeps (items/scale/av-fraction) and sharded"
-            " seed-grid sweeps (fig6[-small], table1[-small],"
-            " chaos[-small])"
+            "parameter sweeps (items/sites/av-fraction) and sharded"
+            " seed-grid sweeps (fig6[-small|-wide], table1[-small],"
+            " chaos[-small], scale[-small])"
         ),
     )
     from repro.perf.grids import GRID_NAMES
 
     p.add_argument(
         "dimension",
-        choices=["items", "scale", "av-fraction", *GRID_NAMES],
+        choices=["items", "sites", "av-fraction", *GRID_NAMES],
     )
     p.add_argument("--seed", type=int, default=0, help="root seed")
     p.add_argument(

@@ -11,6 +11,7 @@ from repro.cluster.config import SystemConfig, paper_config
 from repro.cluster.rejoin import TAG_REJOIN, install_rejoin_handlers, rejoin
 from repro.cluster.site import Site, SiteRole
 from repro.cluster.system import DistributedSystem, InvariantViolation
+from repro.cluster.topology import InterestView, SiteSpec, Topology
 
 
 def build_paper_system(**overrides) -> DistributedSystem:
@@ -20,14 +21,17 @@ def build_paper_system(**overrides) -> DistributedSystem:
 
 __all__ = [
     "DistributedSystem",
+    "InterestView",
     "InvariantViolation",
     "Product",
     "ProductCatalog",
     "ProductClass",
     "Site",
     "SiteRole",
+    "SiteSpec",
     "SystemConfig",
     "TAG_REJOIN",
+    "Topology",
     "bootstrap",
     "build_paper_system",
     "install_rejoin_handlers",

@@ -57,6 +57,7 @@ def bootstrap(
     av_fraction: float = 1.0,
     av_weights: Dict[str, float] | None = None,
     base: str | None = None,
+    topology=None,  # Optional[Topology]
 ) -> None:
     """Install catalogue data, AV allocation and initial beliefs.
 
@@ -75,31 +76,39 @@ def bootstrap(
     base:
         Name of the base site (gets leftover units first); defaults to
         the first site.
+    topology:
+        Partial-replication shape: each item is installed, AV-split and
+        belief-seeded only across its interest set (base first, then
+        aggregators, then leaves — so leftover units pool upward).
+        ``None`` delivers everything to every site, as the paper assumes.
     """
     names = list(sites)
     if base is None:
         base = names[0]
-    order = [base] + [n for n in names if n != base]
     weights = av_weights if av_weights is not None else {n: 1.0 for n in names}
 
     for product in catalog:
         ledger.set_initial(product.item, product.initial_stock)
-        for site in sites.values():
-            site.store.insert(product.item, product.initial_stock)
+        interested = (
+            list(topology.sites_for(product.item))
+            if topology is not None else names
+        )
+        for name in interested:
+            sites[name].store.insert(product.item, product.initial_stock)
 
         if not product.regular:
             continue
 
+        order = [base] + [n for n in interested if n != base]
         pool = product.initial_stock * av_fraction
         if float(product.initial_stock).is_integer():
             pool = float(math.floor(pool))
         shares = split_volume(pool, weights, order)
-        for name, site in sites.items():
-            site.av_table.define(product.item, shares[name])
-        # Everyone knows the initial deal (it came from the base).
-        for name, site in sites.items():
+        for name in interested:
+            sites[name].av_table.define(product.item, shares[name])
+        # The interest set knows the initial deal (it came from the base).
+        for name in interested:
+            beliefs = sites[name].accelerator.beliefs
             for peer, share in shares.items():
                 if peer != name:
-                    site.accelerator.beliefs.observe(
-                        peer, product.item, share, now=0.0
-                    )
+                    beliefs.observe(peer, product.item, share, now=0.0)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.cluster.topology import Topology
 from repro.core.overload import OverloadParams
 from repro.net.reliable import ReliabilityParams
 
@@ -88,6 +89,12 @@ class SystemConfig:
     #: twice). Empty string = correct protocol. Never set in
     #: experiments; see repro.testkit.
     inject: str = ""
+    #: declarative N-site deployment shape (roles, region tree, per-item
+    #: interest sets; see :mod:`repro.cluster.topology`). ``None`` keeps
+    #: the paper's flat maker+retailers layout byte-identical; a
+    #: Topology overrides ``n_retailers`` and must cover exactly
+    #: ``n_items`` catalogue items
+    topology: Optional[Topology] = None
 
     #: names the fuzz harness accepts for ``inject``
     KNOWN_INJECTIONS = ("av-double-grant",)
@@ -95,6 +102,11 @@ class SystemConfig:
     def __post_init__(self) -> None:
         if self.n_retailers < 1:
             raise ValueError("need at least one retailer")
+        if self.topology is not None and len(self.topology.items) != self.n_items:
+            raise ValueError(
+                f"topology covers {len(self.topology.items)} items but"
+                f" n_items={self.n_items}"
+            )
         if self.inject and self.inject not in self.KNOWN_INJECTIONS:
             raise ValueError(
                 f"unknown injection {self.inject!r};"
@@ -107,19 +119,28 @@ class SystemConfig:
 
     @property
     def n_sites(self) -> int:
+        if self.topology is not None:
+            return self.topology.n_sites
         return self.n_retailers + 1
 
     @property
     def site_names(self) -> list[str]:
-        """``site0`` (maker/base) then ``site1..siteN`` (retailers)."""
+        """``site0`` (maker/base) then ``site1..siteN`` (retailers);
+        with a topology, its deployment order (maker first)."""
+        if self.topology is not None:
+            return self.topology.names
         return [f"site{i}" for i in range(self.n_sites)]
 
     @property
     def maker(self) -> str:
+        if self.topology is not None:
+            return self.topology.maker
         return "site0"
 
     @property
     def retailers(self) -> list[str]:
+        """Every non-maker site (aggregators included, when present);
+        use ``topology.leaves`` for just the user-facing sites."""
         return self.site_names[1:]
 
 

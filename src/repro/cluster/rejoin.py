@@ -86,9 +86,10 @@ def rejoin(site: "Site"):
             accel.leases.re_ack()
 
         # Share what we committed before dying, then pull what the live
-        # peers retained for us while we were unreachable.
+        # peers retained for us while we were unreachable. Only peers
+        # sharing an item with us can owe anything (partial replication).
         accel.sync_all()
-        for peer in sorted(accel.live_peers()):
+        for peer in sorted(accel.live_neighbors()):
             for _attempt in range(FLUSH_ATTEMPTS):
                 try:
                     flushed = yield accel.endpoint.request(
@@ -118,7 +119,13 @@ def rejoin(site: "Site"):
                 except RequestTimeout:
                     continue
             if reply is not None:
-                base_items = set(reply["items"])
+                # The base's catalogue is authoritative but covers the
+                # whole universe; we fold in only our own slice — a site
+                # must never define (or believe about) an item outside
+                # its interest set.
+                base_items = {
+                    i for i in reply["items"] if accel.serves_item(i)
+                }
                 mine = {item for item, _volume in accel.av_table.items()}
                 for item in sorted(base_items - mine):
                     # Went regular while we were down: start managing it

@@ -17,6 +17,9 @@ if TYPE_CHECKING:  # pragma: no cover
 
 class SiteRole(enum.Enum):
     MAKER = "maker"
+    #: regional AV pool in a hierarchical topology: holds AV on behalf
+    #: of its subtree and re-grants downward; no user traffic
+    AGGREGATOR = "aggregator"
     RETAILER = "retailer"
 
 

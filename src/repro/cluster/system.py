@@ -116,6 +116,15 @@ class DistributedSystem:
             registry=obs.registry if config.observe else None
         )
 
+        topology = config.topology
+        if topology is not None:
+            catalog_items = [p.item for p in catalog]
+            if list(topology.items) != catalog_items:
+                raise ValueError(
+                    "topology item universe does not match the catalogue"
+                    f" ({len(topology.items)} vs {len(catalog_items)} items)"
+                )
+
         sites: Dict[str, Site] = {}
         for name in config.site_names:
             endpoint = network.endpoint(name)
@@ -139,8 +148,15 @@ class DistributedSystem:
                 reliability=config.reliability,
                 inject=config.inject,
                 overload=config.overload,
+                interest=topology.view(name) if topology is not None else None,
             )
-            role = SiteRole.MAKER if name == config.maker else SiteRole.RETAILER
+            if topology is not None:
+                role = SiteRole(topology.role_of(name))
+            else:
+                role = (
+                    SiteRole.MAKER if name == config.maker
+                    else SiteRole.RETAILER
+                )
             sites[name] = Site(endpoint, store, accel, role, collector)
             if config.reliability is not None:
                 from repro.cluster.rejoin import install_rejoin_handlers
@@ -154,6 +170,7 @@ class DistributedSystem:
             av_fraction=config.av_fraction,
             av_weights=config.av_weights,
             base=config.maker,
+            topology=topology,
         )
         system = cls(
             config, env, network, rngs, tracer, catalog, sites, collector,
@@ -211,6 +228,14 @@ class DistributedSystem:
             if s.av_table.defined(item)
         )
 
+    def interested_sites(self, item: str) -> List[Site]:
+        """The sites replicating ``item`` — everyone without a topology,
+        the item's interest set with one."""
+        topology = self.config.topology
+        if topology is None:
+            return list(self.sites.values())
+        return [self.sites[n] for n in topology.sites_for(item)]
+
     def check_invariants(self, quiescent: bool = False) -> None:
         """Raise :class:`InvariantViolation` on any broken invariant.
 
@@ -228,11 +253,11 @@ class DistributedSystem:
                 )
             # Class is defined by AV-entry existence (the checking
             # function's source of truth) — the static catalogue can be
-            # superseded by dynamic reclassification. All sites must
-            # agree on the class.
-            definedness = {
-                s.av_table.defined(item) for s in self.sites.values()
-            }
+            # superseded by dynamic reclassification. The item's interest
+            # set must agree on the class (sites outside it never hold
+            # the item at all).
+            replicas = self.interested_sites(item)
+            definedness = {s.av_table.defined(item) for s in replicas}
             if len(definedness) != 1:
                 raise InvariantViolation(
                     f"sites disagree on whether {item!r} is regular"
@@ -240,7 +265,7 @@ class DistributedSystem:
             regular = definedness.pop()
             if regular:
                 total_av = self.av_total(item)
-                for site in self.sites.values():
+                for site in replicas:
                     av = site.av_table.get(item)
                     if av < -eps:
                         raise InvariantViolation(
@@ -254,27 +279,40 @@ class DistributedSystem:
             else:
                 # Non-regular items are kept globally consistent by the
                 # Immediate Update protocol: all replicas identical.
-                values = {s.store.value(item) for s in self.sites.values()}
+                values = {s.store.value(item) for s in replicas}
                 if len(values) != 1:
                     raise InvariantViolation(
                         f"non-regular item {item!r} diverged: {values}"
                     )
 
         if quiescent:
-            stores = [s.store for s in self.sites.values()]
-            for other in stores[1:]:
-                if not stores_equal(stores[0], other):
-                    raise InvariantViolation(
-                        f"replicas {stores[0].name} and {other.name} diverged"
-                        " at quiescence"
-                    )
-            for item in ledger.items():
-                replica = stores[0].value(item)
-                if abs(replica - ledger.true_value(item)) > eps:
-                    raise InvariantViolation(
-                        f"converged replica value {replica} != ledger"
-                        f" {ledger.true_value(item)} for {item!r}"
-                    )
+            if self.config.topology is None:
+                stores = [s.store for s in self.sites.values()]
+                for other in stores[1:]:
+                    if not stores_equal(stores[0], other):
+                        raise InvariantViolation(
+                            f"replicas {stores[0].name} and {other.name}"
+                            " diverged at quiescence"
+                        )
+                for item in ledger.items():
+                    replica = stores[0].value(item)
+                    if abs(replica - ledger.true_value(item)) > eps:
+                        raise InvariantViolation(
+                            f"converged replica value {replica} != ledger"
+                            f" {ledger.true_value(item)} for {item!r}"
+                        )
+            else:
+                # Partial replication: convergence is promised per item
+                # across its interest set, against the ledger.
+                for item in ledger.items():
+                    truth = ledger.true_value(item)
+                    for site in self.interested_sites(item):
+                        replica = site.store.value(item)
+                        if abs(replica - truth) > eps:
+                            raise InvariantViolation(
+                                f"replica {site.name} value {replica} !="
+                                f" ledger {truth} for {item!r} at quiescence"
+                            )
 
     def __repr__(self) -> str:
         return (

@@ -95,12 +95,20 @@ class Accelerator:
         reliability: Optional[ReliabilityParams] = None,
         inject: str = "",
         overload: Optional[OverloadParams] = None,
+        interest=None,  # Optional[repro.cluster.topology.InterestView]
     ) -> None:
         self.endpoint = endpoint
         self.env = endpoint.env
         self.site = endpoint.name
         self.store = store
         self.base_site = base_site
+        #: this site's slice of the deployment topology (items served,
+        #: per-item peers, supply-tree parent). ``None`` = the paper's
+        #: full replication: every peer replicates every item
+        self.interest = interest
+        #: aggregator to ask FIRST in the Delay gather loop (hierarchical
+        #: AV); ``None`` keeps the seed's strategy-only gather
+        self.pool_parent = interest.pool_parent if interest is not None else None
         self.av_table = AVTable(self.site)
         self.beliefs = BeliefTable(self.site)
         self.locks = LockManager(self.env, name=f"{self.site}.locks")
@@ -353,6 +361,39 @@ class Accelerator:
         faults = self.endpoint.network.faults
         return [p for p in self.endpoint.peers() if not faults.is_crashed(p)]
 
+    def serves_item(self, item: str) -> bool:
+        """Whether this site replicates ``item`` (always, sans topology)."""
+        return self.interest is None or self.interest.serves(item)
+
+    def replica_peers(self, item: str) -> list[str]:
+        """Peers replicating ``item`` — every peer under full
+        replication, the item's interest set (minus us) with a topology.
+        """
+        if self.interest is None:
+            return self.endpoint.peers()
+        return list(self.interest.peers_for(item))
+
+    def live_neighbors(self) -> list[str]:
+        """Live peers sharing at least one item with us — everyone
+        under full replication. Rejoin/flush traffic goes only here."""
+        if self.interest is None:
+            return self.live_peers()
+        faults = self.endpoint.network.faults
+        return [
+            p for p in self.interest.neighbors if not faults.is_crashed(p)
+        ]
+
+    def live_peers_for(self, item: str) -> list[str]:
+        """`replica_peers` minus known-crashed sites (gather candidates).
+        """
+        if self.interest is None:
+            return self.live_peers()
+        faults = self.endpoint.network.faults
+        return [
+            p for p in self.interest.peers_for(item)
+            if not faults.is_crashed(p)
+        ]
+
     def trace(self, kind: str, detail: str) -> None:
         self.tracer.emit(self.env.now, kind, self.site, detail)
 
@@ -389,8 +430,13 @@ class Accelerator:
         return balance
 
     def record_unsynced(self, item: str, delta: float) -> None:
-        """Remember a committed Delay delta each peer has not seen yet."""
-        for peer in self.endpoint.peers():
+        """Remember a committed Delay delta each replica has not seen yet.
+
+        Only peers in the item's interest set owe a balance — a sync
+        push to anyone else would reference an item outside the
+        receiver's slice.
+        """
+        for peer in self.replica_peers(item):
             key = (peer, item)
             self._set_owed(key, self.owed.get(key, 0.0) + delta)
         if self.overload is not None:

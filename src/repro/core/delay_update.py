@@ -56,6 +56,8 @@ class DelayUpdateProtocol:
     def __init__(self, accel: "Accelerator") -> None:
         self.accel = accel
         accel.endpoint.on("av.request", self.handle_av_request)
+        accel.endpoint.on("av.pool.request", self.handle_pool_request)
+        accel.endpoint.on("av.pool.refill", self.handle_pool_refill)
         accel.endpoint.on("av.push", self.handle_av_push)
         if accel.reliable is not None:
             # Behind the session, propagation deltas dedup on (src, seq)
@@ -66,6 +68,10 @@ class DelayUpdateProtocol:
         #: grants served, volume granted (diagnostics)
         self.grants_served = 0
         self.volume_granted = 0.0
+        #: items with an upward ``av.pool.refill`` on the wire — a
+        #: second pool request for the same item must not trigger a
+        #: concurrent (duplicate) refill
+        self._refill_inflight: set[str] = set()
 
     # ---------------------------------------------------------------- #
     # requester side
@@ -158,14 +164,25 @@ class DelayUpdateProtocol:
             select_span = rec.start(
                 "av.selecting", accel.site, accel.now, parent=span
             )
-            candidates = accel.live_peers()
+            candidates = accel.live_peers_for(item)
             if accel.overload is not None:
                 # Steer the ask away from peers that broadcast DEGRADED
                 # (unless they are all we have left).
                 candidates = accel.overload.filter_peers(candidates)
-            target = accel.strategy.select(
-                item, candidates, frozenset(tried), accel.beliefs
+            # Hierarchical topologies ask the regional aggregator's pool
+            # first — it exists to absorb its subtree's demand. Only
+            # after the pool has been tried does the believed-richest
+            # strategy shop the rest of the interest set.
+            pool = accel.pool_parent
+            use_pool = (
+                pool is not None and pool not in tried and pool in candidates
             )
+            if use_pool:
+                target = pool
+            else:
+                target = accel.strategy.select(
+                    item, candidates, frozenset(tried), accel.beliefs
+                )
             select_span.finish(accel.now, target=target or "<none>")
             if target is not None:
                 # The happens-before checker correlates this decision
@@ -216,13 +233,22 @@ class DelayUpdateProtocol:
                     "span": req_span.span_id,
                 }
             try:
-                reply = yield accel.endpoint.request(
-                    target,
-                    "av.request",
-                    payload,
-                    tag=TAG_AV,
-                    timeout=accel.request_timeout,
-                )
+                if use_pool:
+                    reply = yield accel.endpoint.request(
+                        target,
+                        "av.pool.request",
+                        payload,
+                        tag=TAG_AV,
+                        timeout=accel.request_timeout,
+                    )
+                else:
+                    reply = yield accel.endpoint.request(
+                        target,
+                        "av.request",
+                        payload,
+                        tag=TAG_AV,
+                        timeout=accel.request_timeout,
+                    )
             except RequestTimeout:
                 req_span.finish(accel.now, timeout=True)
                 accel.trace("delay.timeout", f"{req} no reply from {target}")
@@ -268,8 +294,19 @@ class DelayUpdateProtocol:
     # grantor side
     # ---------------------------------------------------------------- #
 
-    def handle_av_request(self, msg):
+    # Spans for the grant are recorded in _grant_from_table.
+    def handle_av_request(self, msg):  # repro-lint: disable=span-coverage
         """Serve an AV transfer: grant per policy, piggyback our level."""
+        return self._grant_from_table(msg, pool=False)
+
+    def _grant_from_table(self, msg, pool: bool):
+        """Shared grantor body for peer asks and hierarchical pool asks.
+
+        Peer grants follow the deciding policy (SODA'99 half-split: the
+        grantor keeps working capital). A *pool* grant fills the request
+        outright — an aggregator's table exists to absorb its subtree's
+        demand, and haggling would only add round trips.
+        """
         accel = self.accel
         rec = accel.obs.recorder
         item = msg.payload["item"]
@@ -292,13 +329,17 @@ class DelayUpdateProtocol:
             "av.deciding", accel.site, accel.now, parent=grant_span,
             available=available, requested=requested,
         )
-        granted = accel.policy.grant_amount(available, requested)
-        if accel.overload is not None:
-            # Under strain, widen the grant past the half-split policy:
-            # one round trip settles what repeat correspondence would.
-            widened = accel.overload.widened_grant(available, requested)
-            if widened is not None:
-                granted = widened
+        if pool:
+            granted = min(available, requested)
+        else:
+            granted = accel.policy.grant_amount(available, requested)
+            if accel.overload is not None:
+                # Under strain, widen the grant past the half-split
+                # policy: one round trip settles what repeat
+                # correspondence would.
+                widened = accel.overload.widened_grant(available, requested)
+                if widened is not None:
+                    granted = widened
         decide_span.finish(accel.now, granted=granted)
         if granted > 0:
             if accel.inject != "av-double-grant":
@@ -318,6 +359,82 @@ class DelayUpdateProtocol:
             # acks; a lost or discarded reply reverts it to our table.
             reply["lease"] = accel.leases.grant(item, granted, msg.src).lease_id
         return reply
+
+    # Spans for the grant are recorded in _grant_from_table.
+    def handle_pool_refill(self, msg):  # repro-lint: disable=span-coverage
+        """Serve a downstream aggregator's top-up from our own table.
+
+        Deliberately *not* recursive: a refill never triggers another
+        refill, so an ask chain is bounded by the tree depth (the leaf's
+        strategy fallback covers a dry chain).
+        """
+        return self._grant_from_table(msg, pool=True)
+
+    # Spans for the grant are recorded in _grant_from_table.
+    def handle_pool_request(self, msg):  # repro-lint: disable=span-coverage
+        """Aggregator side of hierarchical AV: serve a leaf from the
+        regional pool, refilling from our supply parent first when dry.
+
+        Generator handler — the reply is deferred until the (timeout-
+        guarded) upward refill resolves, so the leaf sees one round trip
+        whether or not the pool had cover on hand.
+        """
+        accel = self.accel
+        item = msg.payload["item"]
+        requested = msg.payload["amount"]
+        parent = accel.interest.parent if accel.interest is not None else None
+        available = (
+            accel.av_table.get(item)
+            if accel.av_table.defined(item) else 0.0
+        )
+        if (
+            parent is not None
+            and available < requested
+            and accel.av_table.defined(item)
+            and item not in self._refill_inflight
+        ):
+            # Top up: the leaf's shortage plus one request's worth of
+            # buffer, so the next ask for a hot item stays regional.
+            ask = (requested - available) + requested
+            self._refill_inflight.add(item)
+            payload = {
+                "item": item,
+                "amount": ask,
+                "requester_av": available,
+            }
+            try:
+                reply = yield accel.endpoint.request(
+                    parent,
+                    "av.pool.refill",
+                    payload,
+                    tag=TAG_AV,
+                    timeout=accel.request_timeout,
+                )
+            except RequestTimeout:
+                accel.trace("pool.timeout", f"refill of {item} timed out")
+                reply = None
+            finally:
+                self._refill_inflight.discard(item)
+            if reply is not None:
+                granted = reply["granted"]
+                lease_id = reply.get("lease")
+                if lease_id is not None and accel.leases is not None:
+                    if not accel.leases.receive(parent, lease_id):
+                        granted = 0
+                accel.beliefs.observe(
+                    parent, item, reply["av_after"], accel.now
+                )
+                if granted > 0:
+                    accel.obs.emit(
+                        "av.refill", accel.now, site=accel.site,
+                        item=item, amount=granted,
+                    )
+                    accel.av_table.add(item, granted)
+                    accel.trace(
+                        "pool.refill",
+                        f"{item} topped up {granted:g} from {parent}",
+                    )
+        return self._grant_from_table(msg, pool=True)
 
     def handle_av_push(self, msg):
         """Accept unsolicited AV (from a proactive rebalancer, see
@@ -404,7 +521,7 @@ class DelayUpdateProtocol:
         )
         pushed = 0
         live = set(accel.live_peers())
-        for peer in sorted(accel.endpoint.peers()):
+        for peer in sorted(accel.replica_peers(item)):
             payload = {"item": item, "delta": delta}
             if rec.enabled:
                 # Receivers parent their prop.apply span under this push

@@ -102,7 +102,10 @@ class ImmediateUpdateProtocol:
         # premature presumed-abort.
         self.in_progress.add(token)
 
-        order = sorted([accel.site, *accel.live_peers()])
+        # Participants are the item's replicas (everyone, sans topology)
+        # in canonical site order — a site outside the interest set never
+        # hears about the item.
+        order = sorted([accel.site, *accel.live_peers_for(item)])
         prepared_peers: list[str] = []
         holds_local = False
         ready = True

@@ -119,7 +119,8 @@ class ReadProtocol:
                 item, token, LockMode.EXCLUSIVE, span_id=span.span_id or None
             )
         try:
-            peers = accel.live_peers()
+            # Only the item's replicas can owe us deltas for it.
+            peers = accel.live_peers_for(item)
             replies = yield accel.env.all_of(
                 [
                     accel.endpoint.request(

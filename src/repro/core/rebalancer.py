@@ -110,7 +110,7 @@ class AVRebalancer:
         for item, own in list(accel.av_table.items()):
             if accel.frozen_gate(item) is not None:
                 continue  # reclassification in progress
-            peers = accel.live_peers()
+            peers = accel.live_peers_for(item)
             if not peers:
                 continue
             believed = {

@@ -80,7 +80,8 @@ class ReclassificationProtocol:
         token = f"cls:{accel.site}:{item}:{next(accel._req_ids)}"
         root = rec.start("cls.regular", accel.site, accel.now, item=item)
 
-        order = sorted([accel.site, *accel.live_peers()])
+        # Reclassification involves exactly the item's replicas.
+        order = sorted([accel.site, *accel.live_peers_for(item)])
         peers = [s for s in order if s != accel.site]
 
         # Phase 1: canonical-order locks (replicas of a non-regular item
@@ -145,7 +146,8 @@ class ReclassificationProtocol:
         token = f"cls:{accel.site}:{item}:{next(accel._req_ids)}"
         root = rec.start("cls.nonregular", accel.site, accel.now, item=item)
 
-        order = sorted([accel.site, *accel.live_peers()])
+        # Reclassification involves exactly the item's replicas.
+        order = sorted([accel.site, *accel.live_peers_for(item)])
         peers = [s for s in order if s != accel.site]
 
         # Phase 1: freeze + quiesce + lock everywhere (canonical order);

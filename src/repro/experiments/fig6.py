@@ -135,6 +135,7 @@ def run_fig6(
     checkpoint_every: Optional[int] = None,
     checkpoints: Optional[Sequence[int]] = None,
     observe: bool = False,
+    topology=None,
 ) -> Fig6Result:
     """Regenerate Fig. 6.
 
@@ -144,6 +145,12 @@ def run_fig6(
     The paper's local-DB item count is illegible in the scanned text;
     ``n_items=10`` reproduces the reported ≈75% reduction with mostly
     local completion (see EXPERIMENTS.md for the calibration sweep).
+
+    ``topology`` (a flat :class:`~repro.cluster.topology.Topology`
+    matching the paper layout, e.g. ``Topology.paper(n_retailers,
+    items)``) routes the build through the topology-aware path; the
+    differential suite asserts the result is byte-identical to the
+    default.
     """
     trace = make_paper_trace(
         n_updates, seed, n_items=n_items,
@@ -159,6 +166,7 @@ def run_fig6(
         n_retailers=n_retailers,
         seed=seed,
         observe=observe,
+        topology=topology,
     )
     proposal_system = DistributedSystem.build(config)
     proposal = run_counted(proposal_system, trace, "proposal", checkpoints)

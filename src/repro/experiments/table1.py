@@ -114,8 +114,13 @@ def run_table1(
     n_retailers: int = 2,
     checkpoints: Optional[Sequence[int]] = None,
     observe: bool = False,
+    topology=None,
 ) -> Table1Result:
-    """Regenerate Table 1 (plus the same columns for the baseline)."""
+    """Regenerate Table 1 (plus the same columns for the baseline).
+
+    ``topology`` routes the build through the topology-aware path (see
+    :func:`repro.experiments.fig6.run_fig6`).
+    """
     if checkpoints is None:
         step = max(1, n_updates // 10)
         checkpoints = list(range(step, n_updates + 1, step))
@@ -129,6 +134,7 @@ def run_table1(
         n_retailers=n_retailers,
         seed=seed,
         observe=observe,
+        topology=topology,
     )
     site_names = config.site_names
 

@@ -268,6 +268,24 @@ PROTOCOL = make_registry([
         doc="ask a believed-rich peer for AV cover (paper Fig. 4)",
     ),
     _spec(
+        "av.pool.request", ("leaf", "aggregator"), TAG_AV, "request",
+        required={"item", "amount", "requester_av"},
+        reply_required={"granted", "av_after"},
+        reply_optional={"lease"},
+        needs_timeout=True,
+        doc="hierarchical AV: a leaf asks its regional aggregator's pool"
+            " before shopping peers (see docs/topology.md)",
+    ),
+    _spec(
+        "av.pool.refill", ("aggregator", "supplier"), TAG_AV, "request",
+        required={"item", "amount", "requester_av"},
+        reply_required={"granted", "av_after"},
+        reply_optional={"lease"},
+        needs_timeout=True,
+        doc="hierarchical AV: a dry aggregator tops up from its supply"
+            " parent (maker or higher aggregator) before answering",
+    ),
+    _spec(
         "av.push", ("rebalancer", "site"), TAG_REBALANCE, "oneway",
         required={"item", "amount"},
         optional={"sender_av", "bounced", "lease"},

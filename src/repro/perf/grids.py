@@ -76,13 +76,50 @@ def _chaos_grid(
     ]
 
 
+def _scale_grid(
+    root_seed: int,
+    specs,
+    n_updates: int,
+    n_items: int,
+    check: bool,
+) -> List[SweepTask]:
+    return [
+        SweepTask(
+            index=i,
+            experiment="scale",
+            seed=derive_seed(root_seed, f"scale.{spec}", i),
+            n_updates=n_updates,
+            n_items=n_items,
+            check=check,
+            topology=spec,
+        )
+        for i, spec in enumerate(specs)
+    ]
+
+
+#: the CI smoke grid: small regional + deep layouts, sanitizer always on
+_SCALE_SMALL_SPECS = (
+    "flat:2",
+    "regional:2x4:s2",
+    "deep:2x2x2:s2",
+)
+
+#: the headline grid: 50 sites (1 maker + 7 aggregators + 42 leaves)
+_SCALE_SPECS = (
+    "regional:7x6:s2",
+    "deep:3x4x4:s2",
+)
+
 GRID_NAMES = (
     "fig6-small",
     "fig6",
+    "fig6-wide",
     "table1-small",
     "table1",
     "chaos-small",
     "chaos",
+    "scale-small",
+    "scale",
 )
 
 
@@ -118,4 +155,30 @@ def build_grid(
         return _chaos_grid(root_seed, _CHAOS_SMALL, n_updates or 60, 6)
     if name == "chaos":
         return _chaos_grid(root_seed, _CHAOS_FULL, n_updates or 120, 6)
+    if name == "fig6-wide":
+        # The paper figure stretched sideways: one maker, 8 retailers,
+        # all sites replicating everything (the flat scale-out control
+        # the topology grids are compared against).
+        return [
+            SweepTask(
+                index=i,
+                experiment="fig6",
+                seed=derive_seed(root_seed, "fig6-wide", i),
+                n_updates=n_updates or 600,
+                n_items=10,
+                check=check,
+                n_retailers=8,
+            )
+            for i in range(replicates or 3)
+        ]
+    if name == "scale-small":
+        # Sanitizer is always on here: this grid is the CI scale-smoke
+        # gate (zero violations + shard/sequential byte-identity).
+        return _scale_grid(
+            root_seed, _SCALE_SMALL_SPECS, n_updates or 200, 40, True
+        )
+    if name == "scale":
+        return _scale_grid(
+            root_seed, _SCALE_SPECS, n_updates or 5000, 10000, check
+        )
     raise ValueError(f"unknown grid {name!r}; choose from {GRID_NAMES}")

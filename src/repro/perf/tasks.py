@@ -44,6 +44,12 @@ class SweepTask:
     check:
         Additionally replay the workload under the protocol sanitizer
         and include its violation/warning counts in the fingerprint.
+    topology:
+        Scale only: the :func:`repro.cluster.topology.Topology.parse`
+        spec to lay the cluster out as (e.g. ``"regional:7x6:s2"``).
+    n_retailers:
+        fig6/table1 only: retailer count for the flat paper layout
+        (the ``fig6-wide`` grid stretches the paper figure sideways).
     """
 
     index: int
@@ -53,6 +59,8 @@ class SweepTask:
     n_items: int = 10
     scenario: str = ""
     check: bool = False
+    topology: str = ""
+    n_retailers: int = 2
 
 
 def canonical_json(obj: Any) -> str:
@@ -104,7 +112,8 @@ def _run_fig6_task(task: SweepTask) -> Dict[str, Any]:
     from repro.experiments.fig6 import run_fig6
 
     result = run_fig6(
-        n_updates=task.n_updates, seed=task.seed, n_items=task.n_items
+        n_updates=task.n_updates, seed=task.seed, n_items=task.n_items,
+        n_retailers=task.n_retailers,
     )
     payload: Dict[str, Any] = {
         "reduction": result.reduction,
@@ -191,11 +200,49 @@ def _run_fuzz_task(task: SweepTask) -> Dict[str, Any]:
     return run_case(case).payload()
 
 
+def _run_scale_task(task: SweepTask) -> Dict[str, Any]:
+    from repro.experiments.scale import run_scale
+
+    result = run_scale(
+        spec=task.topology,
+        n_updates=task.n_updates,
+        seed=task.seed,
+        n_items=task.n_items,
+        sanitize=task.check,
+    )
+    payload: Dict[str, Any] = {
+        "spec": task.topology,
+        "n_sites": result.topology.n_sites,
+        "reduction": result.reduction,
+        "local_ratio": result.local_ratio,
+        "update_tags": _update_tags(result.proposal.results),
+        "replicas": result.replicas,
+        "counters": {
+            "proposal_correspondences": (
+                result.proposal.final().total_correspondences
+            ),
+            "conventional_correspondences": (
+                result.conventional.final().total_correspondences
+            ),
+        },
+        "telemetry": result.telemetry,
+    }
+    if task.check:
+        # The scale runner sanitizes in-process (the replay harness in
+        # analysis.check only knows the paper experiments).
+        payload["sanitizer"] = {
+            "violations": result.violations,
+            "warnings": result.warnings,
+        }
+    return payload
+
+
 _RUNNERS = {
     "fig6": _run_fig6_task,
     "table1": _run_table1_task,
     "chaos": _run_chaos_task,
     "fuzz": _run_fuzz_task,
+    "scale": _run_scale_task,
 }
 
 

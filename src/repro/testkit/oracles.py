@@ -142,7 +142,9 @@ def sequential_spec_findings(system, results) -> List[Violation]:
                     f"ledger value {have:g} != reference execution {want:g}"
                 ),
             ))
-        for name in sorted(system.sites):
+        # Only the item's replicas hold a value to compare (under a
+        # topology the interest set; the whole cluster without one).
+        for name in sorted(s.name for s in system.interested_sites(item)):
             got = system.sites[name].store.value(item)
             if abs(got - want) > EPS:
                 findings.append(Violation(
@@ -151,6 +153,51 @@ def sequential_spec_findings(system, results) -> List[Violation]:
                         f"replica value {got:g} != reference execution"
                         f" {want:g}"
                     ),
+                ))
+    return findings
+
+
+# ----------------------------------------------------------------- #
+# interest scope (multi-level pools)
+# ----------------------------------------------------------------- #
+
+def interest_scope_findings(system) -> List[Violation]:
+    """Partial-replication hygiene over every level of the supply tree.
+
+    No-op (empty list) without a topology. With one: every AV entry —
+    leaf tables *and* aggregator pools — must name an item inside the
+    holding site's interest set and carry a non-negative level, and
+    every store record must stay inside the slice. A stray entry means
+    some protocol path (grant, push, catalog reconcile, rejoin) leaked
+    an item across an interest boundary.
+    """
+    topology = system.config.topology
+    if topology is None:
+        return []
+    now = float(system.env.now)
+    findings: List[Violation] = []
+    for name in sorted(system.sites):
+        site = system.sites[name]
+        interest = set(topology.interest_of(name))
+        for item, volume in sorted(site.av_table.items()):
+            if item not in interest:
+                findings.append(Violation(
+                    rule="oracle.interest-scope", item=item, site=name,
+                    time=now,
+                    detail="AV entry outside the site's interest set",
+                ))
+            if volume < -EPS:
+                findings.append(Violation(
+                    rule="oracle.interest-scope", item=item, site=name,
+                    time=now,
+                    detail=f"negative pooled AV {volume:g}",
+                ))
+        for item in sorted(site.store.item_ids()):
+            if item not in interest:
+                findings.append(Violation(
+                    rule="oracle.interest-scope", item=item, site=name,
+                    time=now,
+                    detail="store record outside the site's interest set",
                 ))
     return findings
 
@@ -234,5 +281,6 @@ def end_state_findings(system, results, strict: bool) -> List[Violation]:
         convergence_findings(system)
         + conservation_findings(system, strict=strict)
         + sequential_spec_findings(system, results)
+        + interest_scope_findings(system)
         + overload_findings(system)
     )

@@ -134,6 +134,11 @@ def _validate(case: FuzzCase, config) -> None:
 
 def run_case(case: FuzzCase) -> CaseOutcome:
     """Run one case end to end; pure function of the case."""
+    topology = None
+    if case.topology:
+        from repro.cluster.topology import Topology
+
+        topology = Topology.parse(case.topology, case.item_names)
     config = paper_config(
         n_items=case.n_items,
         n_retailers=case.n_retailers,
@@ -145,6 +150,7 @@ def run_case(case: FuzzCase) -> CaseOutcome:
         reliability=ReliabilityParams() if case.reliability else None,
         inject=case.inject,
         overload=SURGE_PARAMS if case.overload else None,
+        topology=topology,
     )
     _validate(case, config)
     system = DistributedSystem.build(config)
@@ -231,9 +237,14 @@ def run_case(case: FuzzCase) -> CaseOutcome:
     counters["oracle_findings"] = len(oracle_findings)
 
     item_ids = sorted(system.collector.ledger.items())
+    # With partial replication a site's store holds only its interest
+    # slice; the fingerprint records exactly what each site replicates
+    # (the flat path keeps the original all-sites × all-items shape).
     replicas = {
         name: {
-            item: system.sites[name].store.value(item) for item in item_ids
+            item: system.sites[name].store.value(item)
+            for item in item_ids
+            if system.sites[name].accelerator.serves_item(item)
         }
         for name in sorted(system.sites)
     }

@@ -77,6 +77,12 @@ class FuzzCase:
         runner issues arrivals open-loop, and the end-state oracles
         additionally demand the degradation ring settled back at NORMAL
         with every shed observably rejected.
+    topology:
+        Scale-out case: a :func:`repro.cluster.topology.Topology.parse`
+        spec (e.g. ``"regional:2x3:s2"``). Empty string = the flat
+        paper layout (``n_retailers`` applies). When set, every op is
+        retargeted inside its item's interest set and the fault
+        vocabulary includes aggregator crash motifs.
     """
 
     seed: int
@@ -95,6 +101,7 @@ class FuzzCase:
     reliability: bool = True
     inject: str = ""
     overload: bool = False
+    topology: str = ""
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.latency_amp < 1.0:
@@ -129,7 +136,16 @@ class FuzzCase:
 
     @property
     def site_names(self) -> list:
+        if self.topology:
+            from repro.cluster.topology import Topology
+
+            return list(Topology.parse(self.topology, self.item_names).names)
         return [f"site{i}" for i in range(self.n_retailers + 1)]
+
+    @property
+    def item_names(self) -> list:
+        width = len(str(self.n_items - 1))
+        return [f"item{i:0{width}d}" for i in range(self.n_items)]
 
     def fault_schedule(self) -> FaultSchedule:
         return FaultSchedule.from_specs(_thaw(self.faults))
@@ -214,6 +230,69 @@ def _draw_faults(sites, horizon, mut) -> FaultSchedule:
     return schedule
 
 
+def _draw_topology(n_items: int, mut) -> str:
+    """A random small region tree (the topology mutation vocabulary)."""
+    if float(mut.random()) < 0.35:
+        regions = int(mut.integers(1, 3))
+        subs = int(mut.integers(1, 3))
+        leaves = int(mut.integers(1, 3))
+        spread = int(mut.integers(1, 3))
+        return f"deep:{regions}x{subs}x{leaves}:s{spread}"
+    regions = int(mut.integers(1, 4))
+    leaves = int(mut.integers(1, 4))
+    spread = int(mut.integers(1, 3))
+    return f"regional:{regions}x{leaves}:s{spread}"
+
+
+def _retarget_into_interest(ops, topology, mut):
+    """Interest-set churn: re-home every op inside its item's replicas.
+
+    Ops were drawn against the flat paper layout; under a topology a
+    site may only update items it replicates, so each decrement is
+    retargeted to a random *leaf* in the item's interest set (the
+    maker's mints already land in every set). The churn — consecutive
+    decrements of one item hopping between its leaves — is exactly what
+    stresses pool grants, owed-balance routing, and belief staleness.
+    """
+    retargeted = []
+    for site, item, delta in ops:
+        if site != topology.maker:
+            leaves = [
+                s
+                for s in topology.sites_for(item)
+                if topology.role_of(s) == "retailer"
+            ]
+            site = leaves[int(mut.integers(0, len(leaves)))]
+        retargeted.append((site, item, delta))
+    return tuple(retargeted)
+
+
+def _draw_topology_faults(topology, horizon, mut) -> FaultSchedule:
+    """Fault motifs over a region tree, biased toward aggregators.
+
+    An aggregator mid-crash is the scale-out-specific hazard: leaves
+    below it lose their pool and must fall back to the believed-richest
+    strategy, and its own pooled AV must survive the restart.
+    """
+    schedule = FaultSchedule()
+    names = list(topology.names)
+    aggregators = [n for n in names if topology.role_of(n) == "aggregator"]
+    for _ in range(int(mut.integers(0, 3))):
+        start = round(float(mut.uniform(20.0, horizon * 0.6)), 3)
+        duration = round(float(mut.uniform(20.0, 100.0)), 3)
+        roll = float(mut.random())
+        if aggregators and roll < 0.5:
+            victim = aggregators[int(mut.integers(0, len(aggregators)))]
+            schedule.crash(start, victim).recover(start + duration, victim)
+        elif roll < 0.75:
+            victim = names[int(mut.integers(0, len(names)))]
+            schedule.crash(start, victim).recover(start + duration, victim)
+        else:
+            rate = round(float(mut.uniform(0.02, 0.15)), 3)
+            schedule.drop(start, rate).drop(start + duration, 0.0)
+    return schedule
+
+
 def make_case(
     root_seed: int,
     index: int,
@@ -249,8 +328,9 @@ def make_case(
     interarrival = round(float(mut.uniform(2.0, 5.0)), 3)
     sync_interval = float(mut.choice([15.0, 25.0, 40.0]))
 
-    # The surge roll consumes the stream last, so pre-existing campaign
-    # coordinates keep producing byte-identical cases.
+    # The surge roll consumes the stream last among the original draws,
+    # so pre-existing campaign coordinates keep producing byte-identical
+    # cases; the topology draws below extend the stream strictly after.
     overload = bool(mut.random() < 0.2)
     if overload:
         # Demotion (make_regular) is not fault-tolerant by design; in a
@@ -260,6 +340,21 @@ def make_case(
         faults = FaultSchedule()
         ops = _surge_ops(ops, retailers, mut)
         interarrival = round(float(mut.uniform(0.2, 1.0)), 3)
+
+    # Scale-out cases: re-lay the cluster as a random region tree,
+    # re-home ops inside interest sets, and redraw faults with the
+    # aggregator-crash motif. Skipped for surge cases (the overload
+    # oracles assume the flat layout's believed-richest flow).
+    topology = ""
+    if not overload and float(mut.random()) < 0.30:
+        from repro.cluster.topology import Topology
+
+        topology = _draw_topology(n_items, mut)
+        width = len(str(n_items - 1))
+        items = [f"item{i:0{width}d}" for i in range(n_items)]
+        topo = Topology.parse(topology, items)
+        ops = _retarget_into_interest(ops, topo, mut)
+        faults = _draw_topology_faults(topo, horizon, mut)
 
     return FuzzCase(
         seed=seed,
@@ -276,4 +371,5 @@ def make_case(
         sync_interval=sync_interval,
         inject=inject,
         overload=overload,
+        topology=topology,
     )

@@ -5,9 +5,12 @@ from repro.workload.generators import (
     HotspotWorkload,
     MixedKindWorkload,
     PaperWorkload,
+    TopologyWorkload,
     WorkloadEvent,
     WorkloadGenerator,
+    ZipfSampler,
     ZipfWorkload,
+    normalize_mix,
 )
 from repro.workload.scm import (
     MakerAgent,
@@ -27,11 +30,14 @@ __all__ = [
     "SCMOutcome",
     "SCMSimulation",
     "SalesReport",
+    "TopologyWorkload",
     "TraceSummary",
     "WorkloadEvent",
     "WorkloadGenerator",
     "WorkloadTrace",
+    "ZipfSampler",
     "ZipfWorkload",
+    "normalize_mix",
     "run_closed",
     "run_open",
     "split_by_site",

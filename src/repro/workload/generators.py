@@ -16,9 +16,12 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterator, Mapping, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.topology import Topology
 
 
 @dataclass(frozen=True, slots=True)
@@ -121,6 +124,182 @@ class PaperWorkload(WorkloadGenerator):
                 site = self._sites[int(self.rng.integers(len(self._sites)))]
             item = self.items[int(self.rng.integers(len(self.items)))]
             yield WorkloadEvent(site, item, self._delta(site))
+
+
+class ZipfSampler:
+    """Finite (truncated) Zipf sampler: ``P(rank r) ∝ r^-skew``, r in 1..n.
+
+    Unlike ``rng.zipf`` (unbounded support, rejection-sampled by the
+    callers above), the truncated form draws from the exact normalised
+    distribution over the catalogue, so the frequency-rank slope of a
+    sample converges to ``-skew`` and any ``skew > 0`` is valid —
+    including the classic s = 1 and near-uniform s → 0.
+
+    Determinism: a draw consumes exactly one variate from ``rng``, so
+    two samplers over equal ``(n, skew)`` fed the same seeded stream
+    produce identical rank sequences.
+    """
+
+    def __init__(self, n: int, skew: float, rng: np.random.Generator) -> None:
+        if n < 1:
+            raise ValueError(f"need n >= 1 ranks, got {n}")
+        if skew < 0:
+            raise ValueError(f"zipf skew must be >= 0, got {skew}")
+        self.n = n
+        self.skew = skew
+        self.rng = rng
+        weights = np.arange(1, n + 1, dtype=np.float64) ** -float(skew)
+        self._cdf = np.cumsum(weights / weights.sum())
+        # Guard against float round-off leaving the last bin < 1.0.
+        self._cdf[-1] = 1.0
+
+    def probability(self, rank: int) -> float:
+        """Exact probability of drawing ``rank`` (1-based)."""
+        if not 1 <= rank <= self.n:
+            raise ValueError(f"rank {rank} not in [1, {self.n}]")
+        lo = self._cdf[rank - 2] if rank > 1 else 0.0
+        return float(self._cdf[rank - 1] - lo)
+
+    def draw_rank(self) -> int:
+        """One 1-based rank (inverse-CDF on a single uniform variate)."""
+        u = self.rng.random()
+        return int(np.searchsorted(self._cdf, u, side="right")) + 1
+
+    def draw_index(self) -> int:
+        """One 0-based index into a popularity-ordered sequence."""
+        return self.draw_rank() - 1
+
+
+def normalize_mix(mix: Mapping[str, float]) -> Dict[str, float]:
+    """Normalise per-site traffic weights to a probability mix.
+
+    Keys keep a deterministic (sorted) order — the order is load-bearing
+    because samplers consume the weights positionally. Zero-weight sites
+    are legal (they issue no updates); negative weights and an all-zero
+    mix are not.
+    """
+    if not mix:
+        raise ValueError("mix is empty")
+    for site in sorted(mix):
+        if mix[site] < 0:
+            raise ValueError(f"negative weight {mix[site]} for {site!r}")
+    total = sum(mix[site] for site in sorted(mix))
+    if total <= 0:
+        raise ValueError("mix weights sum to zero")
+    return {site: mix[site] / total for site in sorted(mix)}
+
+
+class TopologyWorkload(WorkloadGenerator):
+    """Paper-style deltas over an N-site :class:`Topology`.
+
+    Generalises the §4 stream to scale-out layouts:
+
+    * The **maker** mints (paper's +20%-cap increases) on a Zipf-skewed
+      draw over the whole catalogue, taking ``maker_share`` of the
+      stream. The default 1/3 is the paper's round-robin generalised:
+      with the +20%/−10% caps, one maker update mints on average what
+      two leaf updates consume, so supply and demand stay balanced at
+      any site count.
+    * **Leaf retailers** consume (−10%-cap decreases) from their own
+      interest slice only — a leaf never references an item it does not
+      replicate — with Zipf-skewed popularity *within* the slice.
+    * **Aggregators** issue no client traffic: they are infrastructure
+      (regional AV pools), not demand sources.
+
+    Per-site traffic weights (``mix``) skew which leaves are busy;
+    default is uniform across leaves.
+    """
+
+    def __init__(
+        self,
+        topology: "Topology",
+        initial_stock: float,
+        rng: np.random.Generator,
+        skew: float = 1.1,
+        maker_share: float = 1.0 / 3.0,
+        mix: Optional[Mapping[str, float]] = None,
+        increase_fraction: float = 0.20,
+        decrease_fraction: float = 0.10,
+        integer_deltas: bool = True,
+    ) -> None:
+        if not 0.0 < maker_share < 1.0:
+            raise ValueError(f"maker_share {maker_share} not in (0, 1)")
+        if not 0 < increase_fraction <= 1 or not 0 < decrease_fraction <= 1:
+            raise ValueError("fractions must be in (0, 1]")
+        self.topology = topology
+        self.initial_stock = initial_stock
+        self.rng = rng
+        self.skew = skew
+        self.maker_share = maker_share
+        self.increase_fraction = increase_fraction
+        self.decrease_fraction = decrease_fraction
+        self.integer_deltas = integer_deltas
+        self.maker = topology.maker
+        # A leaf with an empty interest slice (more leaves than item
+        # assignments) replicates nothing and so can issue no updates.
+        self.leaves = [
+            s
+            for s in topology.names
+            if topology.role_of(s) == "retailer" and topology.interest_of(s)
+        ]
+        if not self.leaves:
+            raise ValueError("topology has no leaf retailers with items")
+        weights = (
+            normalize_mix(mix)
+            if mix is not None
+            else {leaf: 1.0 / len(self.leaves) for leaf in self.leaves}
+        )
+        unknown = sorted(set(weights) - set(self.leaves))
+        if unknown:
+            raise ValueError(
+                f"mix names sites that are not item-bearing leaves: {unknown}"
+            )
+        self.mix = {leaf: weights.get(leaf, 0.0) for leaf in self.leaves}
+        self._leaf_cdf = np.cumsum(
+            [self.mix[leaf] for leaf in self.leaves]
+        )
+        self._leaf_cdf[-1] = 1.0
+        # One catalogue-wide sampler for the maker; per-slice-size
+        # samplers for the leaves (slices of equal length share one —
+        # a draw depends only on the rank distribution, not the items).
+        self._catalog_sampler = ZipfSampler(len(topology.items), skew, rng)
+        self._slice_samplers: Dict[int, ZipfSampler] = {}
+        self._slices = {
+            leaf: list(topology.interest_of(leaf)) for leaf in self.leaves
+        }
+
+    def _slice_sampler(self, size: int) -> ZipfSampler:
+        sampler = self._slice_samplers.get(size)
+        if sampler is None:
+            sampler = ZipfSampler(size, self.skew, self.rng)
+            self._slice_samplers[size] = sampler
+        return sampler
+
+    def _magnitude(self, fraction: float) -> float:
+        cap = self.initial_stock * fraction
+        if self.integer_deltas:
+            cap_int = max(1, int(math.floor(cap)))
+            return float(self.rng.integers(1, cap_int + 1))
+        return float(self.rng.uniform(0.0, cap))
+
+    def events(self, n: int) -> Iterator[WorkloadEvent]:
+        items = list(self.topology.items)
+        for _ in range(n):
+            if self.rng.random() < self.maker_share:
+                item = items[self._catalog_sampler.draw_index()]
+                yield WorkloadEvent(
+                    self.maker, item, self._magnitude(self.increase_fraction)
+                )
+            else:
+                u = self.rng.random()
+                leaf = self.leaves[
+                    int(np.searchsorted(self._leaf_cdf, u, side="right"))
+                ]
+                slice_ = self._slices[leaf]
+                item = slice_[self._slice_sampler(len(slice_)).draw_index()]
+                yield WorkloadEvent(
+                    leaf, item, -self._magnitude(self.decrease_fraction)
+                )
 
 
 class ZipfWorkload(WorkloadGenerator):

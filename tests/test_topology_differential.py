@@ -1,0 +1,133 @@
+"""Topology differential: the declarative paper layout IS the seed path.
+
+The scale-out refactor threads a :class:`~repro.cluster.topology.Topology`
+through config, bootstrap, and every interest-aware call site. These
+tests pin the refactor's central guarantee: expressing the paper's
+1-maker/2-retailer cluster as a ``Topology`` produces **byte-identical**
+experiment fingerprints to the original (topology-free) code path —
+same update tags, same replica values, same correspondence counters,
+repr-exact floats included. Any divergence (an extra message, a
+reordered peer list, a perturbed RNG draw) flips the digest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import DistributedSystem, Topology, paper_config
+from repro.perf.tasks import _update_tags, digest
+
+
+def _items(n: int) -> list:
+    return [f"item{i:0{len(str(n - 1))}d}" for i in range(n)]
+
+
+def _fig6_fingerprint(topology) -> str:
+    from repro.experiments.fig6 import run_fig6
+
+    result = run_fig6(n_updates=160, seed=11, n_items=8, topology=topology)
+    return digest(
+        {
+            "update_tags": _update_tags(result.proposal.results),
+            "replicas": result.replicas,
+            "counters": {
+                "proposal": result.proposal.final().total_correspondences,
+                "conventional": (
+                    result.conventional.final().total_correspondences
+                ),
+            },
+            "telemetry": result.telemetry,
+        }
+    )
+
+
+def _table1_fingerprint(topology) -> str:
+    from repro.experiments.table1 import run_table1
+
+    result = run_table1(n_updates=160, seed=11, n_items=8, topology=topology)
+    final = result.proposal.final()
+    return digest(
+        {
+            "update_tags": _update_tags(result.proposal.results),
+            "replicas": result.replicas,
+            "per_site": {s: final.per_site[s] for s in result.site_names},
+            "telemetry": result.telemetry,
+        }
+    )
+
+
+class TestPaperTopologyIsSeedPath:
+    def test_fig6_digest_byte_identical(self):
+        topo = Topology.paper(2, _items(8))
+        assert _fig6_fingerprint(None) == _fig6_fingerprint(topo)
+
+    def test_table1_digest_byte_identical(self):
+        topo = Topology.paper(2, _items(8))
+        assert _table1_fingerprint(None) == _table1_fingerprint(topo)
+
+    def test_wider_flat_layout_matches_n_retailers(self):
+        # The flat:N spec is the n_retailers=N seed config, byte for byte.
+        from repro.experiments.fig6 import run_fig6
+
+        topo = Topology.parse("flat:4", _items(6))
+        a = run_fig6(n_updates=100, seed=3, n_items=6, n_retailers=4)
+        b = run_fig6(
+            n_updates=100, seed=3, n_items=6, n_retailers=4, topology=topo
+        )
+        assert _update_tags(a.proposal.results) == _update_tags(
+            b.proposal.results
+        )
+        assert a.replicas == b.replicas
+        assert (
+            a.proposal.final().total_correspondences
+            == b.proposal.final().total_correspondences
+        )
+
+
+class TestTopologySystemEquivalence:
+    """System-level equivalence on a mixed driving sequence."""
+
+    @pytest.fixture()
+    def drive(self):
+        def _drive(topology):
+            cfg = paper_config(
+                n_items=6,
+                seed=7,
+                propagate=True,
+                trace=True,
+                request_timeout=8.0,
+                topology=topology,
+            )
+            s = DistributedSystem.build(cfg)
+            item_ids = [p.item for p in s.catalog]
+            procs = []
+            for i in range(40):
+                site = s.config.site_names[i % 3]
+                delta = 12.0 if site == s.config.maker else -7.0
+                procs.append(s.update(site, item_ids[i % 6], delta))
+            s.run()
+            for name in s.config.site_names:
+                s.sites[name].accelerator.sync_all()
+            s.run()
+            s.check_invariants(quiescent=True)
+            return digest(
+                {
+                    "results": [
+                        f"{p.value.outcome.value}:{p.value.av_requests}"
+                        f":{p.value.finished_at!r}"
+                        for p in procs
+                    ],
+                    "replicas": {
+                        n: site.store.as_dict()
+                        for n, site in s.sites.items()
+                    },
+                    "sent": s.stats.sent_total,
+                    "correspondences": s.stats.correspondences_total,
+                }
+            )
+
+        return _drive
+
+    def test_mixed_sequence_byte_identical(self, drive):
+        items = [f"item{i}" for i in range(6)]
+        assert drive(None) == drive(Topology.paper(2, items))

@@ -227,3 +227,139 @@ class TestTraceSummary:
         s = WorkloadTrace([]).summary()
         assert s.events == 0
         assert s.supply_demand_ratio == float("inf")
+
+
+class TestZipfSampler:
+    """The truncated Zipf sampler feeding the scale-out workloads."""
+
+    def test_seed_and_skew_reproducibility(self):
+        from repro.workload import ZipfSampler
+
+        a = ZipfSampler(50, 1.2, np.random.default_rng(7))
+        b = ZipfSampler(50, 1.2, np.random.default_rng(7))
+        assert [a.draw_rank() for _ in range(200)] == [
+            b.draw_rank() for _ in range(200)
+        ]
+        c = ZipfSampler(50, 1.2, np.random.default_rng(8))
+        assert [a.draw_rank() for _ in range(200)] != [
+            c.draw_rank() for _ in range(200)
+        ]
+
+    def test_probabilities_normalised_and_monotone(self):
+        from repro.workload import ZipfSampler
+
+        s = ZipfSampler(20, 1.5, np.random.default_rng(0))
+        probs = [s.probability(r) for r in range(1, 21)]
+        assert sum(probs) == pytest.approx(1.0)
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_frequency_rank_slope_matches_skew(self):
+        """Log-log regression of sampled frequencies ≈ -skew."""
+        from repro.workload import ZipfSampler
+
+        skew = 1.3
+        s = ZipfSampler(30, skew, np.random.default_rng(3))
+        counts = np.zeros(30)
+        for _ in range(30_000):
+            counts[s.draw_index()] += 1
+        head = slice(0, 10)  # the head ranks have tight counts
+        slope = np.polyfit(
+            np.log(np.arange(1, 31)[head]), np.log(counts[head]), 1
+        )[0]
+        assert slope == pytest.approx(-skew, abs=0.12)
+
+    def test_rejects_bad_parameters(self):
+        from repro.workload import ZipfSampler
+
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            ZipfSampler(5, -0.1, np.random.default_rng(0))
+
+
+class TestNormalizeMix:
+    def test_normalises_and_sorts(self):
+        from repro.workload import normalize_mix
+
+        mix = normalize_mix({"b": 3.0, "a": 1.0})
+        assert list(mix) == ["a", "b"]
+        assert mix["a"] == pytest.approx(0.25)
+        assert mix["b"] == pytest.approx(0.75)
+        assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_rejects_degenerate_mixes(self):
+        from repro.workload import normalize_mix
+
+        with pytest.raises(ValueError):
+            normalize_mix({})
+        with pytest.raises(ValueError):
+            normalize_mix({"a": -1.0, "b": 2.0})
+        with pytest.raises(ValueError):
+            normalize_mix({"a": 0.0})
+
+
+class TestTopologyWorkload:
+    def _topology(self):
+        from repro.cluster import Topology
+
+        return Topology.regional(
+            [f"item{i}" for i in range(12)], 2, 3, spread=2
+        )
+
+    def test_events_respect_roles_and_interest_sets(self):
+        from repro.workload import TopologyWorkload
+
+        topo = self._topology()
+        wl = TopologyWorkload(topo, 100.0, np.random.default_rng(1))
+        for event in wl.events(300):
+            role = topo.role_of(event.site)
+            assert role != "aggregator"
+            assert event.item in topo.interest_of(event.site)
+            if role == "maker":
+                assert event.delta > 0
+            else:
+                assert event.delta < 0
+
+    def test_maker_share_is_respected(self):
+        from repro.workload import TopologyWorkload
+
+        topo = self._topology()
+        wl = TopologyWorkload(
+            topo, 100.0, np.random.default_rng(2), maker_share=1.0 / 3.0
+        )
+        events = list(wl.events(3000))
+        mints = sum(1 for e in events if e.site == topo.maker)
+        assert mints / len(events) == pytest.approx(1 / 3, abs=0.04)
+
+    def test_site_mix_skews_leaf_traffic(self):
+        from repro.workload import TopologyWorkload
+
+        topo = self._topology()
+        leaves = [s for s in topo.names if topo.role_of(s) == "retailer"]
+        mix = {leaf: (4.0 if leaf == leaves[0] else 1.0) for leaf in leaves}
+        wl = TopologyWorkload(
+            topo, 100.0, np.random.default_rng(3), mix=mix
+        )
+        counts = {leaf: 0 for leaf in leaves}
+        for event in wl.events(4000):
+            if event.site != topo.maker:
+                counts[event.site] += 1
+        hot = counts[leaves[0]] / sum(counts.values())
+        assert hot == pytest.approx(4.0 / 9.0, abs=0.04)
+
+    def test_deterministic_for_equal_seeds(self):
+        from repro.workload import TopologyWorkload
+
+        topo = self._topology()
+        a = TopologyWorkload(topo, 100.0, np.random.default_rng(9))
+        b = TopologyWorkload(topo, 100.0, np.random.default_rng(9))
+        assert list(a.events(100)) == list(b.events(100))
+
+    def test_rejects_mix_naming_non_leaves(self):
+        from repro.workload import TopologyWorkload
+
+        topo = self._topology()
+        with pytest.raises(ValueError):
+            TopologyWorkload(
+                topo, 100.0, np.random.default_rng(0), mix={"agg0": 1.0}
+            )
