@@ -25,7 +25,7 @@ from repro.core.types import (
     UpdateRequest,
     UpdateResult,
 )
-from repro.db.storage import Store
+from repro.core.columns import make_store, resolve_kernel
 from repro.db.transaction import TransactionManager
 from repro.metrics.collector import MetricsCollector
 from repro.net.endpoint import CrashedEndpointError, Endpoint, RequestTimeout
@@ -48,7 +48,7 @@ class CentralClient:
         self.endpoint = endpoint
         self.env = endpoint.env
         # Read-only replica, refreshed only when the server replicates.
-        self.store = Store(endpoint.name)
+        self.store = make_store(endpoint.name, kernel=system.kernel)
         endpoint.on("central.replicate", self._handle_replicate)
         from itertools import count as _count
 
@@ -75,7 +75,11 @@ class CentralClient:
             issued_at=self.env.now,
             request_id=next(self._req_ids),
         )
-        return self.env.process(self._run(req), name=f"{self.name}.{req}")
+        # Id-based name: str(req) costs a float render per update and
+        # the name is only read by reprs and error messages.
+        return self.env.process(
+            self._run(req), name=f"{self.name}.upd#{req.request_id}"
+        )
 
     def _run(self, req: UpdateRequest):
         try:
@@ -111,7 +115,7 @@ class CentralServer:
     def __init__(self, system: "CentralizedSystem", endpoint: Endpoint) -> None:
         self.system = system
         self.endpoint = endpoint
-        self.store = Store(CENTER)
+        self.store = make_store(CENTER, kernel=system.kernel)
         self.txns = TransactionManager(
             self.store, clock=lambda: endpoint.env.now
         )
@@ -121,8 +125,7 @@ class CentralServer:
         item, delta = msg.payload["item"], msg.payload["delta"]
         if self.store.value(item) + delta < 0:
             return {"committed": False}
-        with self.txns.atomic() as txn:
-            txn.apply(item, delta)
+        self.txns.apply_atomic(item, delta)
         if self.system.replicate:
             for client in self.system.clients.values():
                 self.endpoint.send(
@@ -156,6 +159,8 @@ class CentralizedSystem:
         request_timeout: Optional[float] = None,
     ) -> None:
         self.config = config if config is not None else SystemConfig()
+        #: resolved hot-state kernel (matches the proposal system's)
+        self.kernel = resolve_kernel(self.config.kernel)
         self.replicate = replicate
         self.request_timeout = request_timeout
         self.env = Environment()

@@ -683,7 +683,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--ops", type=int, default=36, help="workload ops per case"
     )
     p.add_argument(
-        "--inject", default="", choices=["", "av-double-grant"],
+        "--inject", default="", choices=["", "av-double-grant", "col-alias"],
         help="TEST-ONLY: plant a known protocol bug to validate oracles",
     )
     p.add_argument(

@@ -22,8 +22,6 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.av_table import AVTable
-from repro.core.beliefs import BeliefTable
 from repro.core.delay_update import DelayUpdateProtocol
 from repro.core.immediate_update import ImmediateUpdateProtocol
 from repro.core.overload import OverloadParams
@@ -96,6 +94,7 @@ class Accelerator:
         inject: str = "",
         overload: Optional[OverloadParams] = None,
         interest=None,  # Optional[repro.cluster.topology.InterestView]
+        kernel: Optional[str] = None,
     ) -> None:
         self.endpoint = endpoint
         self.env = endpoint.env
@@ -109,8 +108,12 @@ class Accelerator:
         #: aggregator to ask FIRST in the Delay gather loop (hierarchical
         #: AV); ``None`` keeps the seed's strategy-only gather
         self.pool_parent = interest.pool_parent if interest is not None else None
-        self.av_table = AVTable(self.site)
-        self.beliefs = BeliefTable(self.site)
+        from repro.core.columns import make_av_table, make_belief_table, resolve_kernel
+
+        #: resolved hot-state kernel name ("columnar" or "object")
+        self.kernel = resolve_kernel(kernel)
+        self.av_table = make_av_table(self.site, kernel=self.kernel, inject=inject)
+        self.beliefs = make_belief_table(self.site, kernel=self.kernel)
         self.locks = LockManager(self.env, name=f"{self.site}.locks")
         self.txns = TransactionManager(store, clock=lambda: self.env.now)
         self.strategy = strategy if strategy is not None else BelievedRichestStrategy()
@@ -223,7 +226,12 @@ class Accelerator:
             request_id=next(self._req_ids),
         )
         self.updates_started += 1
-        return self.env.process(self._run(req), name=f"{self.site}.{req}")
+        # Name by request id, not str(req): rendering the full request
+        # (float formatting) on every issued update is pure overhead —
+        # the name only ever surfaces in reprs and error messages.
+        return self.env.process(
+            self._run(req), name=f"{self.site}.upd#{req.request_id}"
+        )
 
     def read(self, item: str, consistency=None) -> Process:
         """Start a read; the process yields a ReadResult.
@@ -359,7 +367,10 @@ class Accelerator:
         request timeouts for crashes they race with.
         """
         faults = self.endpoint.network.faults
-        return [p for p in self.endpoint.peers() if not faults.is_crashed(p)]
+        peers = self.endpoint.peers()
+        if not faults.any_crashed:
+            return peers
+        return [p for p in peers if not faults.is_crashed(p)]
 
     def serves_item(self, item: str) -> bool:
         """Whether this site replicates ``item`` (always, sans topology)."""
@@ -435,10 +446,36 @@ class Accelerator:
         Only peers in the item's interest set owe a balance — a sync
         push to anyone else would reference an item outside the
         receiver's slice.
+
+        The fan-out is batched: one pass folds the delta into every
+        peer balance and reconciles the dirty-item index once, instead
+        of a ``_set_owed`` call (two dict probes plus index upkeep) per
+        peer. Runs once per committed Delay delta — with eager
+        propagation off this is the single hottest owed-ledger path.
         """
+        owed = self.owed
+        added = 0
         for peer in self.replica_peers(item):
             key = (peer, item)
-            self._set_owed(key, self.owed.get(key, 0.0) + delta)
+            old = owed.get(key)
+            if old is None:
+                if delta != 0.0:
+                    owed[key] = delta
+                    added += 1
+            else:
+                balance = old + delta
+                if balance == 0.0:
+                    del owed[key]
+                    added -= 1
+                else:
+                    owed[key] = balance
+        if added:
+            dirty = self._dirty_items
+            count = dirty.get(item, 0) + added
+            if count:
+                dirty[item] = count
+            else:
+                del dirty[item]
         if self.overload is not None:
             # Backpressure: an over-budget backlog is flushed inline
             # instead of growing until the next scheduled sync pass.
@@ -466,7 +503,7 @@ class Accelerator:
         """Items with any pending balance (O(dirty), via the index)."""
         return set(self._dirty_items)
 
-    def sync_item(self, item: str, parent=None, only=None) -> int:
+    def sync_item(self, item: str, parent=None, only=None, live=None) -> int:
         """Push the item's batched delta to every live peer it is owed to.
 
         Returns the number of messages sent — one per (live) peer with a
@@ -479,16 +516,22 @@ class Accelerator:
         time — a dropped message loses it for good (the sanitizer's
         ``prop.lost`` violation). With it, the balance stays owed until
         the reliable delivery acks, so loss can only delay convergence.
+
+        ``live`` lets a scan pass (:meth:`sync_all` / :meth:`sync_to`)
+        compute the live-peer set once for the whole pass instead of
+        once per dirty item — no event fires between the items of one
+        pass, so the set cannot change mid-scan.
         """
         from repro.core.types import TAG_PROPAGATE
 
         sent = 0
-        live = set(self.live_peers())
+        if live is None:
+            live = sorted(set(self.live_peers()))
         rec = self.obs.recorder
         span = rec.start(
             "sync.push", self.site, self.now, parent=parent, item=item
         )
-        for peer in sorted(live):
+        for peer in live:
             if only is not None and peer not in only:
                 continue
             key = (peer, item)
@@ -537,9 +580,13 @@ class Accelerator:
 
     def sync_to(self, peer: str, parent=None) -> int:
         """Push every balance owed to one peer (serves rejoin flushes)."""
+        dirty = sorted(self._dirty_items)
+        if not dirty:
+            return 0
+        live = sorted(set(self.live_peers()))
         return sum(
-            self.sync_item(item, parent=parent, only={peer})
-            for item in sorted(self._dirty_items)
+            self.sync_item(item, parent=parent, only={peer}, live=live)
+            for item in dirty
         )
 
     def sync_all(self, parent=None) -> int:
@@ -547,10 +594,16 @@ class Accelerator:
 
         Scans only the dirty-item index — a clean pass is O(1), and a
         dirty one touches exactly the items with outstanding balances.
+        The live-peer set is computed once per pass (see
+        :meth:`sync_item`).
         """
+        dirty = sorted(self._dirty_items)
+        if not dirty:
+            return 0
+        live = sorted(set(self.live_peers()))
         return sum(
-            self.sync_item(item, parent=parent)
-            for item in sorted(self._dirty_items)
+            self.sync_item(item, parent=parent, live=live)
+            for item in dirty
         )
 
     # ---------------------------------------------------------------- #

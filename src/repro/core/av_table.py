@@ -187,6 +187,27 @@ class AVTable:
             self.monitor.av_event(self, "take", item, amount)
         return amount
 
+    def take_if_covered(self, item: str, amount: float) -> bool:
+        """Fused ``get`` + ``take``: spend ``amount`` iff fully covered.
+
+        The Delay decrement hot path's single-lookup form of
+        ``if av.get(item) >= need: av.take(item, need)`` — same monitor
+        event, same arithmetic, one dict probe instead of three.
+        Returns whether the take happened.
+        """
+        try:
+            available = self._av[item]
+        except KeyError:
+            raise AVUndefined(item) from None
+        if amount < 0:
+            raise InvalidVolume(f"cannot take negative AV {amount}")
+        if available < amount:
+            return False
+        self._av[item] = available - amount
+        if self.monitor is not None:
+            self.monitor.av_event(self, "take", item, amount)
+        return True
+
     def take_up_to(self, item: str, amount: float) -> float:
         """Remove ``min(amount, available)``; returns what was taken."""
         if amount < 0:
@@ -220,6 +241,18 @@ class AVTable:
         if self.monitor is not None:
             self.monitor.av_event(self, "hold.open", item, 0.0, hold=h)
         return h
+
+    # ---------------------------------------------------------------- #
+    # test hook
+    # ---------------------------------------------------------------- #
+
+    def debug_set(self, item: str, volume: float) -> None:
+        """TEST-ONLY: force a raw volume, bypassing every check.
+
+        Exists on both kernels so invariant tests can corrupt state
+        without reaching into kernel-specific internals.
+        """
+        self._av[item] = volume
 
     # ---------------------------------------------------------------- #
     # views

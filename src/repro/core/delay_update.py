@@ -126,9 +126,9 @@ class DelayUpdateProtocol:
             return self._done(req, UpdateOutcome.COMMITTED, local=True)
 
         need = -delta
-        if av.get(item) >= need:
+        if av.take_if_covered(item, need):
             # The paper's headline path: complete within the local site.
-            av.take(item, need)
+            # The fused probe spends the AV in one column/dict lookup.
             # Spend shrinks headroom; announce after the take so the sum
             # only dips in between.
             accel.obs.emit("av.spend", accel.now, site=accel.site, item=item, amount=need)
@@ -568,8 +568,7 @@ class DelayUpdateProtocol:
             "delay.apply", accel.site, accel.now, parent=span,
             item=item, delta=delta,
         )
-        with accel.txns.atomic() as txn:
-            txn.apply(item, delta, force=True)
+        accel.txns.apply_atomic(item, delta, force=True)
         apply_span.finish(accel.now)
 
     def _done(

@@ -179,7 +179,8 @@ class ImmediateUpdateProtocol:
             # participant resolves to abort via the status query.
             self.decisions[token] = "abort"
             self.in_progress.discard(token)
-            accel.trace("imm.abort", str(req))
+            if accel.tracer.enabled:
+                accel.trace("imm.abort", str(req))
             abort_span = rec.start(
                 "imm.abort", accel.site, accel.now, parent=span,
                 peers=len(prepared_peers),
@@ -267,7 +268,8 @@ class ImmediateUpdateProtocol:
         if ovl is not None:
             ovl.record_2pc_success(accel.now)
         accel.locks.release(item, token)
-        accel.trace("imm.commit", str(req))
+        if accel.tracer.enabled:
+            accel.trace("imm.commit", str(req))
         return UpdateResult(
             request=req,
             kind=UpdateKind.IMMEDIATE,

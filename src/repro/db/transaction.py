@@ -123,6 +123,28 @@ class TransactionManager:
         """``with tm.atomic() as txn:`` — commits on success, aborts on error."""
         return _Atomic(self)
 
+    def apply_atomic(self, item: str, delta: float, force: bool = False) -> float:
+        """One-delta transaction, fused: begin + apply + commit.
+
+        The Delay apply hot path runs thousands of single-delta
+        transactions per task; this skips the Transaction/_Atomic
+        object churn while leaving every observable surface identical
+        to ``with self.atomic() as txn: txn.apply(item, delta, force)``
+        — same txn id consumed, same three WAL records and lsns, same
+        begun/committed counters, same store mutation with the same
+        clock read. A store error propagates after BEGIN/DELTA/COMMIT
+        are logged; the caller treats it exactly as the unfused abort
+        path would have left the store (no delta was applied).
+        """
+        self.begun += 1
+        txn_id = next(self._ids)
+        self.wal.log_atomic(txn_id, item, delta)
+        value = self.store.apply_delta(
+            item, delta, now=self._clock(), force=force
+        )
+        self.committed += 1
+        return value
+
     def _finished(self, txn: Transaction) -> None:
         if txn.state is TxnState.COMMITTED:
             self.committed += 1

@@ -68,6 +68,23 @@ class WriteAheadLog:
     def log_abort(self, txn_id: int) -> WalEntry:
         return self._append(WalOp.ABORT, txn_id)
 
+    def log_atomic(self, txn_id: int, item: str, delta: float) -> WalEntry:
+        """Append BEGIN, DELTA, COMMIT for a one-delta transaction.
+
+        The fused form of the Delay apply hot path: identical records
+        and lsns to the three separate calls, one method dispatch.
+        Returns the DELTA entry.
+        """
+        lsn = self._next_lsn
+        self._next_lsn = lsn + 3
+        entry = WalEntry(lsn + 1, WalOp.DELTA, txn_id, item, delta)
+        self._entries += (
+            WalEntry(lsn, WalOp.BEGIN, txn_id),
+            entry,
+            WalEntry(lsn + 2, WalOp.COMMIT, txn_id),
+        )
+        return entry
+
     # ---------------------------------------------------------------- #
     # reading
     # ---------------------------------------------------------------- #

@@ -71,10 +71,16 @@ class MetricsCollector:
     def __init__(self, registry: Optional[MetricRegistry] = None) -> None:
         self.results: List[UpdateResult] = []
         self.ledger = GlobalLedger()
-        self.by_outcome: Counter = Counter()
-        self.by_kind: Counter = Counter()
         self.by_site: Dict[str, List[UpdateResult]] = defaultdict(list)
         self.registry = registry if registry is not None else MetricRegistry()
+        # record() runs once per finished update; resolving a metric by
+        # name costs an f-string build plus a registry dict probe every
+        # time. The handles are stable objects, so memoise them per
+        # enum value / kind the first time each is seen.
+        self._outcome_counters: Dict[UpdateOutcome, object] = {}
+        self._kind_histograms: Dict[UpdateKind, object] = {}
+        self._av_counter = None
+        self._latency_histogram = None
 
     # ---------------------------------------------------------------- #
     # recording
@@ -83,19 +89,37 @@ class MetricsCollector:
     def record(self, result: UpdateResult) -> None:
         """Account one finished update (and its delta, if committed)."""
         self.results.append(result)
-        self.by_outcome[result.outcome] += 1
-        self.by_kind[result.kind] += 1
+        outcome = result.outcome
+        kind = result.kind
         self.by_site[result.request.site].append(result)
-        registry = self.registry
-        registry.counter(f"updates.{result.outcome.value}").inc()
+        counter = self._outcome_counters.get(outcome)
+        if counter is None:
+            counter = self.registry.counter(f"updates.{outcome.value}")
+            self._outcome_counters[outcome] = counter
+        counter.inc()
         if result.av_requests:
-            registry.counter("av.requests").inc(result.av_requests)
+            av_counter = self._av_counter
+            if av_counter is None:
+                av_counter = self._av_counter = self.registry.counter(
+                    "av.requests"
+                )
+            av_counter.inc(result.av_requests)
         if result.committed:
             self.ledger.record_delta(result.request.item, result.request.delta)
-            registry.histogram("update.latency").observe(result.latency)
-            registry.histogram(
-                f"update.latency.{result.kind.value}"
-            ).observe(result.latency)
+            latency = result.latency
+            histogram = self._latency_histogram
+            if histogram is None:
+                histogram = self._latency_histogram = self.registry.histogram(
+                    "update.latency"
+                )
+            histogram.observe(latency)
+            kind_histogram = self._kind_histograms.get(kind)
+            if kind_histogram is None:
+                kind_histogram = self.registry.histogram(
+                    f"update.latency.{kind.value}"
+                )
+                self._kind_histograms[kind] = kind_histogram
+            kind_histogram.observe(latency)
 
     # ---------------------------------------------------------------- #
     # aggregates
@@ -104,6 +128,19 @@ class MetricsCollector:
     @property
     def total(self) -> int:
         return len(self.results)
+
+    # by_outcome / by_kind are derived at report time rather than
+    # maintained per record: enum-keyed Counter updates go through the
+    # Python-level ``Enum.__hash__`` on every finished update, and no
+    # caller reads these during the run — only summaries do.
+
+    @property
+    def by_outcome(self) -> Counter:
+        return Counter(r.outcome for r in self.results)
+
+    @property
+    def by_kind(self) -> Counter:
+        return Counter(r.kind for r in self.results)
 
     @property
     def committed(self) -> int:

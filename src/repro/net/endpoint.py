@@ -52,6 +52,8 @@ class Endpoint:
         self._pending: dict[int, Event] = {}
         #: count of handler invocations by kind (diagnostic)
         self.handled: dict[str, int] = {}
+        self._peers_cache: list[str] = []
+        self._peers_version = -1
         network.register(self)
 
     def __repr__(self) -> str:
@@ -62,8 +64,19 @@ class Endpoint:
         return self.network.faults.is_crashed(self.name)
 
     def peers(self) -> list[str]:
-        """All other endpoint names."""
-        return [n for n in self.network.names() if n != self.name]
+        """All other endpoint names (cached; callers must not mutate).
+
+        Rebuilt only when the network has registered new endpoints since
+        the last call — the registration set never shrinks, so the
+        version check is exact. This sits on the per-update hot path
+        (peer selection, fan-out, 2PC participant lists).
+        """
+        if self._peers_version != self.network.registrations:
+            self._peers_cache = [
+                n for n in self.network.names() if n != self.name
+            ]
+            self._peers_version = self.network.registrations
+        return self._peers_cache
 
     # ---------------------------------------------------------------- #
     # handler registration

@@ -41,7 +41,7 @@ class FaultInjector:
             raise ValueError(f"drop_probability {drop_probability} not in [0, 1]")
         self._crashed: set[str] = set()
         self._partition: Optional[dict[str, int]] = None
-        self.drop_probability = drop_probability
+        self._drop_probability = drop_probability
         #: per-directed-link drop probability, overriding the global rate
         self._link_drop: dict[tuple[str, str], float] = {}
         #: directed links currently down (flapping, cable pulls)
@@ -50,6 +50,29 @@ class FaultInjector:
         #: counters for reporting
         self.crashes_injected = 0
         self.messages_dropped = 0
+        #: no fault of any kind active — senders may skip the per-message
+        #: drop verdict entirely. Maintained by every mutator (a plain
+        #: attribute, not a property: it is read once per message).
+        self.quiet = drop_probability == 0.0
+
+    def _refresh_quiet(self) -> None:
+        self.quiet = not (
+            self._crashed
+            or self._partition is not None
+            or self._down_links
+            or self._link_drop
+            or self._drop_probability > 0.0
+        )
+
+    @property
+    def drop_probability(self) -> float:
+        """Global Bernoulli loss rate (assignment keeps ``quiet`` honest)."""
+        return self._drop_probability
+
+    @drop_probability.setter
+    def drop_probability(self, probability: float) -> None:
+        self._drop_probability = probability
+        self._refresh_quiet()
 
     # ---------------------------------------------------------------- #
     # crash / recover
@@ -60,13 +83,20 @@ class FaultInjector:
         if site not in self._crashed:
             self._crashed.add(site)
             self.crashes_injected += 1
+            self.quiet = False
 
     def recover(self, site: str) -> None:
         """Bring ``site`` back (idempotent)."""
         self._crashed.discard(site)
+        self._refresh_quiet()
 
     def is_crashed(self, site: str) -> bool:
         return site in self._crashed
+
+    @property
+    def any_crashed(self) -> bool:
+        """Whether any site is currently down (cheap hot-path gate)."""
+        return bool(self._crashed)
 
     @property
     def crashed_sites(self) -> frozenset[str]:
@@ -89,10 +119,12 @@ class FaultInjector:
                     raise ValueError(f"site {site!r} listed in two groups")
                 mapping[site] = idx
         self._partition = mapping
+        self.quiet = False
 
     def heal(self) -> None:
         """Remove any partition."""
         self._partition = None
+        self._refresh_quiet()
 
     @property
     def partitioned(self) -> bool:
@@ -111,30 +143,35 @@ class FaultInjector:
         """Change the global Bernoulli loss rate mid-run."""
         if not 0.0 <= probability <= 1.0:
             raise ValueError(f"drop_probability {probability} not in [0, 1]")
-        self.drop_probability = probability
+        self.drop_probability = probability  # property setter refreshes quiet
 
     def set_link_drop(self, src: str, dst: str, probability: float) -> None:
         """Override the loss rate of the directed ``src → dst`` link."""
         if not 0.0 <= probability <= 1.0:
             raise ValueError(f"link drop {probability} not in [0, 1]")
         self._link_drop[(src, dst)] = probability
+        self._refresh_quiet()
 
     def clear_link_drop(self, src: str, dst: str) -> None:
         """Remove a per-link override; the global rate applies again."""
         self._link_drop.pop((src, dst), None)
+        self._refresh_quiet()
 
     def link_down(self, src: str, dst: str) -> None:
         """Take the directed ``src → dst`` link down (idempotent)."""
         self._down_links.add((src, dst))
+        self.quiet = False
 
     def link_up(self, src: str, dst: str) -> None:
         """Restore a downed link (idempotent)."""
         self._down_links.discard((src, dst))
+        self._refresh_quiet()
 
     def clear_link_faults(self) -> None:
         """Drop every per-link override and outage (chaos heal phase)."""
         self._link_drop.clear()
         self._down_links.clear()
+        self._refresh_quiet()
 
     def link_is_down(self, src: str, dst: str) -> bool:
         return (src, dst) in self._down_links
@@ -154,7 +191,7 @@ class FaultInjector:
         if (src, dst) in self._down_links:
             self.messages_dropped += 1
             return True
-        probability = self._link_drop.get((src, dst), self.drop_probability)
+        probability = self._link_drop.get((src, dst), self._drop_probability)
         if probability > 0.0:
             if self._rng is None:
                 raise RuntimeError(

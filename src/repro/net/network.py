@@ -87,6 +87,10 @@ class Network:
         #: optional repro.net.sizes.SizeModel enabling byte accounting
         self.size_model = size_model
         self._endpoints: dict[str, "Endpoint"] = {}
+        #: bumped on every registration — endpoints key their cached
+        #: peer views on this (the set only grows; there is no
+        #: unregister, so a version match proves the cache is current)
+        self.registrations = 0
         #: observers called as ``fn(event, time, msg)`` for every
         #: ``"send"`` / ``"recv"`` / ``"drop"`` — structured message
         #: taps for analysis tools (sequence diagrams etc.)
@@ -114,6 +118,7 @@ class Network:
         if endpoint.name in self._endpoints:
             raise ValueError(f"endpoint {endpoint.name!r} already registered")
         self._endpoints[endpoint.name] = endpoint
+        self.registrations += 1
 
     def endpoint(self, name: str) -> "Endpoint":
         """Create, register and return a new endpoint called ``name``."""
@@ -152,16 +157,21 @@ class Network:
         )
         self.stats.record_send(msg, size=size)
         # str(msg) is costly on the per-message hot path; only render it
-        # when a real tracer is attached.
+        # when a real tracer is attached. Same for the observer fan-out
+        # and the fault verdict: both are skipped outright when no
+        # observer is registered / no fault is active.
         if self.tracer.enabled:
             self.tracer.emit(self.env.now, "msg.send", msg.src, str(msg))
-        self._notify("send", msg)
+        if self.observers:
+            self._notify("send", msg)
 
-        if self.faults.should_drop(msg.src, msg.dst):
+        faults = self.faults
+        if not faults.quiet and faults.should_drop(msg.src, msg.dst):
             self.stats.record_drop(msg, size=size)
             if self.tracer.enabled:
                 self.tracer.emit(self.env.now, "msg.drop", msg.src, str(msg))
-            self._notify("drop", msg)
+            if self.observers:
+                self._notify("drop", msg)
             return
 
         delay = self.latency.sample(msg.src, msg.dst, self.rng)
@@ -181,7 +191,8 @@ class Network:
         endpoint = self._endpoints.get(msg.dst)
         if endpoint is None:  # pragma: no cover - unregister race
             return
-        if self.faults.is_crashed(msg.dst):
+        faults = self.faults
+        if not faults.quiet and faults.is_crashed(msg.dst):
             # Crashed while the message was in flight.
             size = (
                 self.size_model.message_size(msg)
@@ -195,7 +206,8 @@ class Network:
             return
         if self.tracer.enabled:
             self.tracer.emit(self.env.now, "msg.recv", msg.dst, str(msg))
-        self._notify("recv", msg)
+        if self.observers:
+            self._notify("recv", msg)
         endpoint._receive(msg)
 
     def __repr__(self) -> str:

@@ -46,12 +46,18 @@ class TelemetrySnapshot:
         cls,
         system,
         registry: Optional[MetricRegistry] = None,
+        extra_events: int = 0,
     ) -> "TelemetrySnapshot":
         """Snapshot a finished :class:`DistributedSystem` run.
 
         ``registry`` defaults to the system collector's registry (the
         private one on unobserved runs, the shared hub registry on
         observed runs — both hold only simulation-derived values).
+        ``extra_events`` folds in kernel events from companion engines
+        the experiment also ran (e.g. the conventional baseline fig6
+        replays against) so ``events_processed`` honours its contract —
+        *total kernel events across all task simulations* — rather than
+        undercounting to the proposal engine alone.
         """
         if registry is None:
             registry = system.collector.registry
@@ -68,7 +74,7 @@ class TelemetrySnapshot:
             }
         return cls({
             "version": TELEMETRY_VERSION,
-            "events_processed": system.env.events_processed,
+            "events_processed": system.env.events_processed + extra_events,
             "tasks": 1,
             "metrics": registry.snapshot(),
             "sites": sites,

@@ -273,10 +273,11 @@ class Environment:
                     )
 
         try:
+            step = self.step  # bound once: the loop body is one call
             while self._queue or self._bucket_count:
                 if stop_at is not None and self.peek() > stop_at:
                     break
-                self.step()
+                step()
         except StopSimulation as stop:
             return stop.args[0]
         except EmptySchedule:  # pragma: no cover - guarded by while

@@ -101,7 +101,9 @@ class Process(Event):
         self.env._active_process = self
         while True:
             try:
-                if event.ok:
+                # event is being dispatched, so its outcome is set:
+                # read _ok directly instead of the guarded property.
+                if event._ok:
                     next_event = self._generator.send(event.value)
                 else:
                     # The process takes responsibility for the failure.

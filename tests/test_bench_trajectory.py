@@ -44,6 +44,27 @@ def _entries(*throughputs, grid="fig6-small"):
     ]
 
 
+def _sharded_report(speedup, throughput=1.0, grid="fig6-small"):
+    report = _report(throughput, grid=grid)
+    report["sharded"] = {
+        "shards": 4,
+        "wall_s": 0.5 / speedup if speedup else 0.5,
+        "events_per_sec": 1000.0 * speedup,
+        "speedup": speedup,
+        "retries": 0,
+    }
+    return report
+
+
+def _sharded_entries(*speedups, grid="fig6-small"):
+    return [
+        harness.history_entry(
+            _sharded_report(s, grid=grid), ts=2000.0 + i
+        )
+        for i, s in enumerate(speedups)
+    ]
+
+
 class TestHistoryFile:
     def test_entry_fields(self):
         entry = harness.history_entry(_report(1.25), ts=1234.5678)
@@ -164,6 +185,85 @@ class TestTrajectoryVerdict:
         assert harness._median([4.0, 1.0, 2.0, 3.0]) == 2.5
 
 
+class TestShardedSpeedupFloor:
+    """The runner's never-slower-than-sequential promise, gated."""
+
+    def test_history_entry_records_speedup(self):
+        entry = harness.history_entry(_sharded_report(1.3), ts=1.0)
+        assert entry["sharded_speedup"] == 1.3
+        # Throughput-only reports record None (and the analytics skip it).
+        assert harness.history_entry(_report(1.0), ts=1.0)[
+            "sharded_speedup"
+        ] is None
+
+    def test_parity_speedup_is_stable(self):
+        history = _entries(1.0, 1.0, 1.0)
+        verdict = harness.trajectory_verdict(_sharded_report(1.05), history)
+        assert verdict["verdict"] == "stable"
+        assert verdict["sharded_speedup"] == 1.05
+        assert verdict["speedup_floor"] == 1.0
+        assert verdict["speedup_ratio"] == 1.05
+
+    def test_below_parity_beyond_tolerance_is_regression(self):
+        # Healthy throughput cannot excuse sharding running 20% slower
+        # than sequential — the pool contract itself regressed.
+        history = _entries(1.0, 1.0, 1.0)
+        verdict = harness.trajectory_verdict(_sharded_report(0.8), history)
+        assert verdict["verdict"] == "regression"
+        assert verdict["speedup_ratio"] == 0.8
+
+    def test_below_parity_within_tolerance_is_noise(self):
+        history = _entries(1.0, 1.0, 1.0)
+        verdict = harness.trajectory_verdict(_sharded_report(0.95), history)
+        assert verdict["verdict"] == "stable"
+
+    def test_floor_rises_with_recorded_history(self):
+        # A multi-core host whose history shows x3 speedups regresses at
+        # x2 — long before it sinks below parity.
+        history = _entries(1.0, 1.0) + _sharded_entries(3.0, 3.1, 2.9)
+        verdict = harness.trajectory_verdict(_sharded_report(2.0), history)
+        assert verdict["speedup_floor"] == 2.9
+        assert verdict["verdict"] == "regression"
+        verdict = harness.trajectory_verdict(_sharded_report(2.95), history)
+        assert verdict["verdict"] == "stable"
+
+    def test_schema1_history_lines_are_skipped(self):
+        # Old history lines have no sharded_speedup key at all.
+        legacy = _entries(1.0, 1.0)
+        for entry in legacy:
+            entry.pop("sharded_speedup")
+        verdict = harness.trajectory_verdict(_sharded_report(1.2), legacy)
+        assert verdict["speedup_floor"] == 1.0
+        assert verdict["verdict"] == "stable"
+
+    def test_throughput_only_report_skips_the_gate(self):
+        history = _sharded_entries(3.0, 3.0)
+        verdict = harness.trajectory_verdict(_report(1.0), history)
+        assert verdict["sharded_speedup"] is None
+        assert verdict["speedup_ratio"] is None
+        assert verdict["verdict"] == "stable"
+
+    def test_speedup_alone_cannot_rescue_no_data(self):
+        # No throughput reference at all: the loud no-data verdict must
+        # survive even when the sharded gate has a healthy number.
+        verdict = harness.trajectory_verdict(_sharded_report(1.5), [])
+        assert verdict["verdict"] == "no-data"
+
+    def test_render_mentions_speedup(self):
+        verdict = harness.trajectory_verdict(
+            _sharded_report(1.25), _entries(1.0, 1.0)
+        )
+        assert "sharded speedup 1.25" in harness.render_verdict(verdict)
+
+    def test_committed_baselines_beat_parity(self):
+        # ISSUE 10 acceptance: every recommitted BENCH_*.json records a
+        # sharded speedup above 1.0.
+        for grid in sorted(harness.BENCH_GRIDS):
+            path = harness.RESULTS_DIR / f"BENCH_{grid}.json"
+            baseline = json.loads(path.read_text())
+            assert baseline["sharded"]["speedup"] > 1.0, grid
+
+
 class TestCalibration:
     def test_calibrate_positive(self):
         assert harness.calibrate(samples=1) > 0
@@ -233,7 +333,8 @@ def test_committed_history_parses():
     entries = harness.load_history()
     assert entries, "benchmarks/results/HISTORY.jsonl should not be empty"
     for entry in entries:
-        assert entry["schema"] == harness.HISTORY_SCHEMA
+        # Schema 1 lines predate the sharded_speedup field; both parse.
+        assert entry["schema"] in (1, harness.HISTORY_SCHEMA)
         assert entry["grid"] in {g + "-small" for g in ("fig6", "table1", "chaos")} | {
             "fig6", "table1", "chaos"
         }

@@ -152,7 +152,7 @@ class TestSystemAssembly:
 
     def test_negative_av_detected(self):
         system = build_paper_system(n_items=1, initial_stock=90.0)
-        system.site("site1").av_table._av["item0"] = -1.0
+        system.site("site1").av_table.debug_set("item0", -1.0)
         with pytest.raises(InvariantViolation, match="negative AV"):
             system.check_invariants()
 

@@ -1,0 +1,208 @@
+"""Differential kernel test layer: columnar vs object, byte for byte.
+
+The columnar kernel (:mod:`repro.core.columns`) re-lays the protocol's
+hot state — AV tables, belief tables, replica stores — as catalog-
+indexed struct-of-arrays columns. Its contract is total behavioural
+equivalence with the dict-of-objects reference kernel: same results,
+same monitor events, same floats (repr-exact), same iteration order.
+
+These tests enforce the contract end to end by running **both kernels
+side by side on identical inputs** and asserting byte-identical
+digests:
+
+* every experiment sweep grid the bench covers (fig6, table1, chaos,
+  scale — each in its ``-small`` size),
+* 200+ generated fuzz cases (schedules, faults, perturbations,
+  topologies, surges — the whole mutation vocabulary),
+* the planted ``col-alias`` bug, which corrupts a *column neighbour*
+  while reporting the right item to the monitor: the conservation
+  oracles must catch it on the columnar kernel, the fuzzer must find
+  and shrink it, and the object kernel (which has no columns to alias)
+  must stay clean on the very same schedule.
+
+Sanitizer cleanliness rides along: the scale grid and every fuzz case
+run with the protocol sanitizer attached, and any violation is a test
+failure on either kernel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.columns import DEFAULT_KERNEL, KERNEL_ENV, KERNELS
+from repro.perf import build_grid, run_sweep
+from repro.testkit import make_case, run_case, run_fuzz
+
+#: fuzz cases per campaign in the side-by-side sweep (ISSUE 10 floor:
+#: 200+); short schedules keep the whole sweep a few seconds
+N_FUZZ_CASES = 200
+FUZZ_N_OPS = 12
+
+#: the grid sizes the differential covers — one per experiment family
+GRIDS = ("fig6-small", "table1-small", "chaos-small", "scale-small")
+
+
+def _sweep_canonical(grid: str, kernel: str, monkeypatch) -> "tuple":
+    """Run a whole sweep grid under ``kernel``; return its canonical JSON.
+
+    The kernel is pinned through the ``REPRO_KERNEL`` environment
+    override, the same lever an operator has, so the test exercises the
+    real resolution path (config ``None`` → env → default).
+    """
+    monkeypatch.setenv(KERNEL_ENV, kernel)
+    tasks = build_grid(grid, root_seed=0)
+    sweep = run_sweep(tasks, shards=1, grid=grid, root_seed=0)
+    return sweep.canonical(), sweep
+
+
+class TestGridDifferential:
+    """Both kernels over every experiment grid: byte-identical sweeps."""
+
+    @pytest.mark.parametrize("grid", GRIDS)
+    def test_sweep_byte_identical_across_kernels(self, grid, monkeypatch):
+        columnar, _ = _sweep_canonical(grid, "columnar", monkeypatch)
+        objectk, _ = _sweep_canonical(grid, "object", monkeypatch)
+        assert columnar == objectk
+
+    def test_scale_grid_sanitizer_clean_on_both_kernels(self, monkeypatch):
+        # The scale tasks run with the protocol sanitizer attached and
+        # report violation counts in their payloads; zero on both sides.
+        for kernel in KERNELS:
+            _, sweep = _sweep_canonical("scale-small", kernel, monkeypatch)
+            for payload in sweep.results:
+                counters = payload.get("counters", {})
+                assert counters.get("violations", 0) == 0, (kernel, payload)
+
+    def test_env_override_reaches_the_sweep(self, monkeypatch):
+        # Guard against the differential silently comparing the default
+        # kernel with itself: the env override must actually select the
+        # kernel inside task execution.
+        from repro.cluster import DistributedSystem, paper_config
+        from repro.core.columns import resolve_kernel
+
+        monkeypatch.setenv(KERNEL_ENV, "object")
+        assert resolve_kernel(None) == "object"
+        system = DistributedSystem.build(paper_config(n_items=2))
+        from repro.core.av_table import AVTable
+
+        assert isinstance(
+            system.site("site0").av_table, AVTable
+        )
+        monkeypatch.delenv(KERNEL_ENV)
+        assert resolve_kernel(None) == DEFAULT_KERNEL
+
+
+# --------------------------------------------------------------------- #
+# fuzz-case differential
+# --------------------------------------------------------------------- #
+
+
+def _outcome_surface(outcome) -> dict:
+    """Everything a case produced except the case itself.
+
+    The two runs differ *only* in the ``kernel`` field of the case, so
+    the case (and the digest, which covers it) is excluded; all
+    observable behaviour — oracle findings, sanitizer warnings, update
+    tags, replica end state, counters — must match exactly.
+    """
+    return {
+        "ok": outcome.ok,
+        "fingerprint": outcome.fingerprint,
+        "findings": [
+            (v.rule, v.item, v.site, v.time, v.detail)
+            for v in outcome.findings
+        ],
+        "warnings": outcome.warnings,
+        "update_tags": outcome.update_tags,
+        "replicas": outcome.replicas,
+        "counters": outcome.counters,
+    }
+
+
+def test_fuzz_cases_byte_identical_across_kernels():
+    """200+ fuzz cases, each run on both kernels: identical surfaces.
+
+    Covers the whole generated vocabulary — faults, perturbation
+    vectors, topology relayouts, overload surges — and doubles as the
+    sanitizer sweep: a finding on either kernel that the other does not
+    reproduce is a kernel bug by definition; a finding on *both* is a
+    protocol bug the clean-campaign tests would already have caught.
+    """
+    mismatches = []
+    dirty = []
+    for index in range(N_FUZZ_CASES):
+        case = make_case(2026, index, n_ops=FUZZ_N_OPS)
+        col = run_case(case.with_(kernel="columnar"))
+        obj = run_case(case.with_(kernel="object"))
+        if _outcome_surface(col) != _outcome_surface(obj):
+            mismatches.append(index)
+        if not col.ok:
+            dirty.append((index, col.rules))
+    assert not mismatches, f"kernel divergence on case(s) {mismatches}"
+    assert not dirty, f"oracle/sanitizer findings on clean cases: {dirty}"
+
+
+def test_fuzzer_draws_both_kernels():
+    # ~30% of generated cases pin the object kernel; a campaign of 60
+    # cases that drew only one kernel means the toggle is dead.
+    kernels = {make_case(5, i).kernel for i in range(60)}
+    assert kernels == {"", "object"}
+
+
+# --------------------------------------------------------------------- #
+# planted column-aliasing bug
+# --------------------------------------------------------------------- #
+
+
+class TestPlantedColumnAliasBug:
+    """``col-alias`` credits a neighbouring column slot on ``add``.
+
+    The monitor still sees the requested item, so only end-state
+    oracles (conservation against the global ledger) can catch it —
+    exactly the bug class a columnar layout can introduce and the
+    object kernel cannot.
+    """
+
+    def test_fuzzer_finds_and_shrinks_col_alias(self, tmp_path):
+        report = run_fuzz(
+            root_seed=1,
+            max_cases=24,
+            n_ops=FUZZ_N_OPS,
+            inject="col-alias",
+            artifact_dir=str(tmp_path),
+        )
+        assert not report.ok
+        assert report.shrink is not None
+        shrunk = report.shrink.case
+        assert shrunk.inject == "col-alias"
+        # The bug lives in the columnar add path; a case that found it
+        # cannot have been pinned to the object kernel.
+        assert shrunk.kernel != "object"
+        assert "oracle.conservation" in report.shrink.rules
+        assert report.replay_ok is True
+
+        # Differential proof: the very same shrunk schedule is clean on
+        # the object kernel (no columns to alias) and still dirty on
+        # the columnar one.
+        assert run_case(shrunk.with_(kernel="object")).ok
+        assert not run_case(shrunk.with_(kernel="columnar")).ok
+
+    def test_col_alias_is_noop_on_object_kernel(self):
+        from repro.core.columns import make_av_table
+
+        table = make_av_table("site1", kernel="object", inject="col-alias")
+        table.define("item0", 10.0)
+        table.define("item1", 0.0)
+        table.add("item1", 5.0)
+        assert table.get("item0") == 10.0
+        assert table.get("item1") == 5.0
+
+    def test_col_alias_corrupts_neighbour_on_columnar_kernel(self):
+        from repro.core.columns import make_av_table
+
+        table = make_av_table("site1", kernel="columnar", inject="col-alias")
+        table.define("item0", 10.0)
+        table.define("item1", 0.0)
+        table.add("item1", 5.0)  # lands on item0's column slot
+        assert table.get("item0") == 15.0
+        assert table.get("item1") == 0.0

@@ -17,6 +17,7 @@ from repro.perf import (
     partition_tasks,
     run_sweep,
 )
+from repro.perf.runner import _POOLS, _get_pool, _start_method, shutdown_pools
 
 ROOT_SEEDS = (0, 7, 20260806)
 
@@ -136,6 +137,88 @@ def test_sanitizer_clean_under_sharded_optimized_kernel():
     assert len(sweep.results) == 2
     for result in sweep.results:
         assert result["sanitizer"]["violations"] == 0
+
+
+# --------------------------------------------------------------------- #
+# pool lifecycle
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture
+def fresh_pools():
+    """Isolate each lifecycle test: no pool before, none left after."""
+    shutdown_pools()
+    yield
+    shutdown_pools()
+
+
+def test_pool_persists_across_sweeps(fresh_pools):
+    """Two sweeps in one process reuse the same worker pool — the whole
+    point of the persistent pool is paying process startup once per
+    campaign, not once per sweep."""
+    first = _sweep("fig6-small", 0, shards=2, mode="pool")
+    pool = _get_pool(_start_method(None), 2)
+    waves_after_first = pool.waves
+    assert waves_after_first >= 1
+    second = _sweep("fig6-small", 0, shards=2, mode="pool")
+    assert _get_pool(_start_method(None), 2) is pool
+    assert pool.waves > waves_after_first
+    assert pool.respawns == 0  # healthy campaign: nobody was replaced
+    assert first.canonical() == second.canonical()
+    # The same workers served both sweeps.
+    assert len(pool.workers) == 2
+    assert all(proc.is_alive() for proc, _ in pool.workers.values())
+
+
+def test_pool_replaces_dead_workers_in_slot(fresh_pools):
+    """A worker killed mid-campaign is respawned in its slot and the
+    pool keeps serving — with byte-identical output."""
+    reference = _sweep("fig6-small", 1, shards=1)
+    crashed = _sweep(
+        "fig6-small", 1, shards=2, mode="pool",
+        crash=ShardCrash(shard=0, after=1),
+    )
+    pool = _get_pool(_start_method(None), 2)
+    assert pool.respawns >= 1
+    assert crashed.canonical() == reference.canonical()
+    # The healed pool serves the next sweep without a teardown.
+    again = _sweep("fig6-small", 1, shards=2, mode="pool")
+    assert again.canonical() == reference.canonical()
+    assert all(proc.is_alive() for proc, _ in pool.workers.values())
+
+
+@pytest.mark.parametrize("fuse", [True, False])
+def test_pool_fused_and_unfused_byte_identical(fresh_pools, fuse):
+    """Task fusion is an IPC batching choice, not a semantic one."""
+    reference = _sweep("table1-small", 0, shards=1)
+    pooled = _sweep("table1-small", 0, shards=2, mode="pool", fuse=fuse)
+    assert pooled.mode == "pool"
+    assert pooled.canonical() == reference.canonical()
+
+
+def test_inline_mode_byte_identical_to_sequential():
+    """Single-core degradation (fused chunks, deferred gc) must not be
+    observable in the output."""
+    reference = _sweep("chaos-small", 0, shards=1)
+    inline = _sweep("chaos-small", 0, shards=4, mode="inline")
+    assert inline.mode == "inline"
+    assert inline.canonical() == reference.canonical()
+
+
+def test_shutdown_pools_tears_everything_down(fresh_pools):
+    _sweep("fig6-small", 0, shards=2, mode="pool")
+    pool = _get_pool(_start_method(None), 2)
+    procs = [proc for proc, _ in pool.workers.values()]
+    assert procs and all(p.is_alive() for p in procs)
+    shutdown_pools()
+    assert not _POOLS
+    assert all(not p.is_alive() for p in procs)
+
+
+def test_mode_rejects_unknown_value():
+    tasks = build_grid("fig6-small", root_seed=0)
+    with pytest.raises(ValueError):
+        run_sweep(tasks, shards=2, mode="threads")
 
 
 # --------------------------------------------------------------------- #

@@ -1,0 +1,302 @@
+"""Property tests: the columnar kernel against pure-dict references.
+
+Each table class in :mod:`repro.core.columns` claims *exact*
+behavioural equality with its object twin: same return values, same
+exception types at the same call, same monitor-event stream, same
+``as_dict``/iteration order, same floats to the last bit. Hypothesis
+drives random interleavings of the whole mutating vocabulary —
+grant/deduct (``take``/``add``), hold cycles, lease-style
+take-then-revert cycles, definition, drops — through both kernels in
+lockstep and through a pure-dict model, and asserts the three never
+disagree.
+
+The slot machinery gets its own properties: ``reserve`` pre-sizing at
+interest-slice boundaries (more items than reserved, fewer, zero),
+free-list reuse after drops, and accesses to catalog items a site
+never defined (unseen indices must raise, not read a neighbour's
+slot).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.av_table import AVTable
+from repro.core.beliefs import BeliefTable
+from repro.core.columns import (
+    ColumnarAVTable,
+    ColumnarBeliefTable,
+    ColumnarStore,
+)
+from repro.core.errors import AVUndefined, InsufficientAV, InvalidVolume
+from repro.db.errors import DuplicateItem, NegativeValue, UnknownItem
+from repro.db.storage import Store
+
+ITEMS = ["itemA", "itemB", "itemC", "itemD", "itemE"]
+
+#: amounts mix exact integers with repr-awkward decimals — both kernels
+#: store IEEE-754 doubles, so even 0.1-style values must match bit-for-bit
+amounts = st.sampled_from([0.0, 0.1, 0.5, 1.0, 2.5, 3.0, 7.7, 10.0, -1.0])
+
+
+class RecordingMonitor:
+    """Captures the av_event stream (the order is part of the contract)."""
+
+    def __init__(self) -> None:
+        self.events = []
+
+    def av_event(self, table, op, item, amount, **_kwargs) -> None:
+        self.events.append((op, item, repr(amount)))
+
+
+def _apply(table, op, item, amount):
+    """Run one op; returns ("ok", result) or ("err", exception type)."""
+    try:
+        if op == "define":
+            return "ok", table.define(item, amount)
+        if op == "add":
+            return "ok", table.add(item, amount)
+        if op == "take":
+            return "ok", table.take(item, amount)
+        if op == "take_up_to":
+            return "ok", table.take_up_to(item, amount)
+        if op == "take_all":
+            return "ok", table.take_all(item)
+        if op == "take_if_covered":
+            return "ok", table.take_if_covered(item, amount)
+        if op == "get":
+            return "ok", table.get(item)
+        if op == "hold_cycle":
+            hold = table.hold(item)
+            hold.add(table.take_up_to(item, amount))
+            if int(amount * 2) % 2 == 0:
+                hold.release()
+                return "ok", 0.0
+            taken = hold.amount
+            hold.consume(taken)
+            return "ok", taken
+        if op == "lease_cycle":
+            # A lease grant is a take; a lost transfer reverts with an
+            # add of the same amount (see LeaseTable._revert).
+            granted = table.take_up_to(item, amount)
+            if int(amount) % 2 == 0:
+                return "ok", table.add(item, granted) if granted else 0.0
+            return "ok", granted
+        if op == "debug_set":
+            return "ok", table.debug_set(item, amount)
+        raise AssertionError(f"unknown op {op}")
+    except (AVUndefined, InsufficientAV, InvalidVolume) as exc:
+        return "err", type(exc)
+
+
+av_op_lists = st.lists(
+    st.tuples(
+        st.sampled_from(
+            [
+                "define",
+                "add",
+                "take",
+                "take_up_to",
+                "take_all",
+                "take_if_covered",
+                "get",
+                "hold_cycle",
+                "lease_cycle",
+                "debug_set",
+            ]
+        ),
+        st.sampled_from(ITEMS),
+        amounts,
+    ),
+    max_size=60,
+)
+
+
+@settings(deadline=None, max_examples=120)
+@given(av_op_lists)
+def test_av_tables_agree_on_any_interleaving(ops):
+    obj, col = AVTable("s"), ColumnarAVTable("s")
+    obj.monitor, col.monitor = RecordingMonitor(), RecordingMonitor()
+    for op, item, amount in ops:
+        if op == "define" and obj.defined(item):
+            continue  # both kernels would raise the same way; not under test
+        got_obj = _apply(obj, op, item, amount)
+        got_col = _apply(col, op, item, amount)
+        assert got_obj == got_col, (op, item, amount)
+        # Full-state equality after every step, repr-exact floats.
+        assert {k: repr(v) for k, v in obj.as_dict().items()} == {
+            k: repr(v) for k, v in col.as_dict().items()
+        }
+        assert list(obj.items()) == list(col.items())
+        assert repr(obj.total()) == repr(col.total())
+    assert obj.monitor.events == col.monitor.events
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "apply_delta", "set_value", "drop", "value"]),
+            st.sampled_from(ITEMS),
+            amounts,
+        ),
+        max_size=60,
+    )
+)
+def test_stores_agree_on_any_interleaving(ops):
+    obj, col = Store("store"), ColumnarStore("store")
+    model = {}  # the pure-dict reference
+    for op, item, amount in ops:
+        try:
+            if op == "insert":
+                a = obj.insert(item, amount)
+                b = col.insert(item, amount)
+                model[item] = amount
+            elif op == "apply_delta":
+                a = obj.apply_delta(item, amount, now=1.0)
+                b = col.apply_delta(item, amount, now=1.0)
+                model[item] = model[item] + amount
+            elif op == "set_value":
+                a = obj.set_value(item, amount, now=2.0)
+                b = col.set_value(item, amount, now=2.0)
+                model[item] = amount
+            elif op == "drop":
+                a = obj.drop(item)
+                b = col.drop(item)
+                model.pop(item)
+            else:
+                a = obj.value(item)
+                b = col.value(item)
+        except (DuplicateItem, UnknownItem, NegativeValue) as exc:
+            with pytest.raises(type(exc), match=None):
+                col_exc_op = {
+                    "insert": lambda: col.insert(item, amount),
+                    "apply_delta": lambda: col.apply_delta(item, amount, now=1.0),
+                    "set_value": lambda: col.set_value(item, amount, now=2.0),
+                    "drop": lambda: col.drop(item),
+                    "value": lambda: col.value(item),
+                }[op]
+                col_exc_op()
+            continue
+        assert repr(a) == repr(b), (op, item, amount)
+        assert obj.as_dict() == col.as_dict() == model
+        assert list(obj.item_ids()) == list(col.item_ids())
+        assert obj.mutations == col.mutations
+        assert repr(obj.total()) == repr(col.total())
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["observe", "believed", "ranked", "forget"]),
+            st.sampled_from(["p0", "p1", "p2"]),
+            st.sampled_from(ITEMS[:3]),
+            st.sampled_from([0.0, 1.0, 2.0, 3.5, 10.0]),  # timestamps
+            amounts,
+        ),
+        max_size=50,
+    )
+)
+def test_belief_tables_agree_on_any_interleaving(ops):
+    obj, col = BeliefTable("s"), ColumnarBeliefTable("s")
+    for op, peer, item, at, volume in ops:
+        if op == "observe":
+            obj.observe(peer, item, volume, at)
+            col.observe(peer, item, volume, at)
+        elif op == "believed":
+            assert repr(obj.believed_volume(peer, item)) == repr(
+                col.believed_volume(peer, item)
+            )
+            a, b = obj.belief(peer, item), col.belief(peer, item)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert (a.volume, a.observed_at) == (b.volume, b.observed_at)
+        elif op == "ranked":
+            assert obj.ranked_peers(item, ["p0", "p1", "p2"]) == col.ranked_peers(
+                item, ["p0", "p1", "p2"]
+            )
+        else:
+            obj.forget_peer(peer)
+            col.forget_peer(peer)
+        assert len(obj) == len(col)
+        assert obj.observations == col.observations
+        assert [
+            (p, i, b.volume, b.observed_at) for p, i, b in obj.entries()
+        ] == [(p, i, b.volume, b.observed_at) for p, i, b in col.entries()]
+
+
+# --------------------------------------------------------------------- #
+# slot machinery: interest-slice boundaries, free-list, unseen indices
+# --------------------------------------------------------------------- #
+
+
+class TestInterestSliceBoundaries:
+    @pytest.mark.parametrize("reserved", [0, 1, 3, 5, 8])
+    def test_reserve_then_overflow_matches_object_kernel(self, reserved):
+        # A site reserves its interest-set slice; defining more items
+        # than reserved must grow seamlessly and stay order-identical.
+        obj, col = AVTable("s"), ColumnarAVTable("s")
+        col.reserve(reserved)
+        for i, item in enumerate(ITEMS):
+            obj.define(item, float(i))
+            col.define(item, float(i))
+        assert obj.as_dict() == col.as_dict()
+        assert list(obj.items()) == list(col.items())
+
+    def test_reserve_is_idempotent_and_never_shrinks(self):
+        col = ColumnarStore("s")
+        col.reserve(4)
+        col.reserve(2)  # no-op: already roomier
+        col.reserve(4)
+        for i, item in enumerate(ITEMS):
+            col.insert(item, float(i))
+        assert col.as_dict() == {item: float(i) for i, item in enumerate(ITEMS)}
+
+    def test_unseen_catalog_items_raise_not_alias(self):
+        # A site that never defined an item must get the domain error —
+        # never a neighbour's slot value.
+        col_av = ColumnarAVTable("s")
+        col_av.define("itemA", 9.0)
+        with pytest.raises(AVUndefined):
+            col_av.get("itemB")
+        with pytest.raises(AVUndefined):
+            col_av.take("itemB", 1.0)
+        store = ColumnarStore("s")
+        store.insert("itemA", 9.0)
+        with pytest.raises(UnknownItem):
+            store.value("itemB")
+        with pytest.raises(UnknownItem):
+            store.apply_delta("itemB", 1.0, now=0.0)
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.sampled_from(ITEMS)), max_size=40
+        )
+    )
+    def test_drop_reinsert_churn_matches_reference(self, churn):
+        # Free-list reuse under arbitrary drop/insert churn: values and
+        # iteration order keep matching the dict-backed store.
+        obj, col = Store("s"), ColumnarStore("s")
+        value = 0.0
+        for insert, item in churn:
+            if insert and item not in obj.item_ids():
+                value += 1.0
+                obj.insert(item, value)
+                col.insert(item, value)
+            elif not insert and item in obj.item_ids():
+                obj.drop(item)
+                col.drop(item)
+            assert obj.as_dict() == col.as_dict()
+            assert list(obj.item_ids()) == list(col.item_ids())
+
+    def test_values_for_reads_in_request_order(self):
+        col = ColumnarStore("s")
+        for i, item in enumerate(ITEMS):
+            col.insert(item, float(i))
+        assert col.values_for(reversed(ITEMS)) == [4.0, 3.0, 2.0, 1.0, 0.0]
+        with pytest.raises(UnknownItem):
+            col.values_for(["itemA", "missing"])
